@@ -1,0 +1,29 @@
+"""Shared helpers for the figure-reproduction benches.
+
+Every bench prints its table (visible with ``pytest -s``) and writes it
+under ``benchmarks/results/`` so the numbers survive the run; the
+pytest-benchmark timing table records how long each reproduction takes.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def emit(results_dir):
+    """emit(name, text): print and persist a figure's output."""
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+    return _emit

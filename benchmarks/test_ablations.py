@@ -1,0 +1,162 @@
+"""Ablations: design choices DESIGN.md calls out, measured.
+
+1. Blinding on/off — what the GFW does to the inter-proxy stream when
+   it can parse the TLS framing and SNI.
+2. Shadowsocks keep-alive timeout — the 10 s default vs longer, the
+   paper's root cause for its PLT.
+3. GFW DPI on/off — how much of each method's loss is censorship.
+4. Active probing — Shadowsocks dies, ScholarCloud survives.
+5. The 2012-2015 VPN-blocking era (footnote 2).
+"""
+
+import pytest
+
+from repro.core import ScholarCloud
+from repro.gfw import GfwConfig
+from repro.measure import Testbed, format_table
+from repro.measure.scenarios import run_plr_experiment, run_plt_experiment
+from repro.middleware import NativeVpn, ShadowsocksMethod
+from repro.net import IPv4Address
+
+
+def test_ablation_blinding_is_load_bearing(benchmark, emit):
+    """Without blinding, the inter-proxy TLS names the remote VM in its
+    ClientHello; a policy update that blocks the endpoint kills it."""
+    def run():
+        # With blinding (deployed configuration): unclassified flows.
+        blinded = Testbed()
+        system = ScholarCloud(blinded)
+        blinded.run_process(system.deploy())
+        browser = blinded.browser(connector=system.connector())
+        ok = blinded.run_process(browser.load(blinded.scholar_page))
+        blinded_labels = dict(blinded.gfw.stats.flows_labeled)
+
+        # Ablated: the domestic proxy speaks plain TLS with the remote
+        # VM's hostname in the SNI, and the GFW blocks that endpoint.
+        ablated = Testbed()
+        ablated.policy.block_domain("vm.scholarcloud.example")
+        from repro.net import WireFeatures
+        system2 = ScholarCloud(ablated)
+        ablated.run_process(system2.deploy())
+        # Strip the blinding: expose TLS framing + SNI on the wire.
+        system2.agility.codec.features = lambda: WireFeatures(  # type: ignore
+            protocol_tag="tls", sni="vm.scholarcloud.example",
+            entropy=7.9, handshake=True)
+        browser2 = ablated.browser(connector=system2.connector())
+        broken = ablated.run_process(browser2.load(ablated.scholar_page))
+        return ok, blinded_labels, broken, ablated.gfw.stats.sni_resets
+
+    ok, labels, broken, resets = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_blinding", format_table(
+        ("configuration", "outcome"),
+        [("blinded (deployed)", f"loads in {ok.plt:.2f}s; GFW labels: {labels or 'none'}"),
+         ("unblinded TLS + blocked SNI", f"error: {broken.error}; {resets} RSTs")],
+        title="Ablation — message blinding"))
+    assert ok.succeeded
+    assert not broken.succeeded
+    assert resets >= 1
+
+
+def test_ablation_keepalive_timeout(benchmark, emit):
+    """The 10 s keep-alive forces re-auth every 60 s cycle; a 120 s
+    keep-alive would have hidden most of Shadowsocks' PLT cost."""
+    def measure(keepalive):
+        testbed = Testbed()
+        method = ShadowsocksMethod(testbed, keepalive=keepalive)
+        testbed.run_process(method.setup())
+        browser = testbed.browser(connector=method.connector())
+        testbed.run_process(browser.load(testbed.scholar_page))
+        plts = []
+        for _ in range(6):
+            testbed.sim.run(until=testbed.sim.now + 60)
+            result = testbed.run_process(browser.load(testbed.scholar_page))
+            plts.append(result.plt)
+        return sum(plts) / len(plts), method.local.auth_rounds
+
+    default_plt, default_auths = benchmark.pedantic(
+        measure, args=(10.0,), rounds=1, iterations=1)
+    long_plt, long_auths = measure(120.0)
+    emit("ablation_keepalive", format_table(
+        ("keep-alive", "mean subsequent PLT", "session auth rounds"),
+        [("10 s (default)", f"{default_plt:.2f} s", default_auths),
+         ("120 s", f"{long_plt:.2f} s", long_auths)],
+        title="Ablation — Shadowsocks keep-alive timeout"))
+    assert default_auths > long_auths
+    assert default_plt > long_plt
+
+
+def test_ablation_dpi_off(benchmark, emit):
+    """Disable DPI: Tor's loss falls to path noise."""
+    tor_with = benchmark.pedantic(run_plr_experiment, args=("tor",),
+                                  kwargs={"loads": 10}, rounds=1, iterations=1)
+    config = GfwConfig(inside_name="border-cn", dpi=False)
+    from repro.measure.scenarios import prepare
+    world = prepare("tor", gfw_config=config)
+    link = world.testbed.border_link
+    for _ in range(10):
+        world.testbed.run_process(world.browser.load(world.testbed.scholar_page))
+        world.testbed.sim.run(until=world.testbed.sim.now + 60)
+    without = (sum(link.packets_dropped.values()),
+               sum(link.packets_sent.values()))
+    rate_without = without[0] / max(1, without[1])
+    emit("ablation_dpi", format_table(
+        ("configuration", "tor packet loss"),
+        [("DPI on (default)", f"{tor_with.rate:.2%}"),
+         ("DPI off", f"{rate_without:.2%}")],
+        title="Ablation — GFW DPI"))
+    assert tor_with.rate > 5 * max(rate_without, 1e-4)
+
+
+def test_ablation_active_probing(benchmark, emit):
+    """Probing on: Shadowsocks' server gets confirmed and IP-blocked;
+    ScholarCloud's decoy-serving remote proxy survives."""
+    def run_pair():
+        outcomes = {}
+        for name, factory in (("shadowsocks", ShadowsocksMethod),
+                              ("scholarcloud", ScholarCloud)):
+            testbed = Testbed(gfw_config=GfwConfig(inside_name="border-cn",
+                                                   active_probing=True))
+            method = factory(testbed)
+            testbed.run_process(method.setup())
+            browser = testbed.browser(connector=method.connector())
+            testbed.run_process(browser.load(testbed.scholar_page))
+            testbed.sim.run(until=testbed.sim.now + 120)
+            blocked = testbed.policy.ip_blocked(
+                IPv4Address(str(testbed.remote_vm.address)))
+            after = testbed.run_process(browser.load(testbed.scholar_page))
+            outcomes[name] = (blocked, after.succeeded)
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    emit("ablation_probing", format_table(
+        ("method", "server IP blocked", "loads after probing"),
+        [(name, blocked, "ok" if ok else "FAILS")
+         for name, (blocked, ok) in outcomes.items()],
+        title="Ablation — GFW active probing"))
+    assert outcomes["shadowsocks"] == (True, False)
+    assert outcomes["scholarcloud"] == (False, True)
+
+
+def test_ablation_vpn_blocking_era(benchmark, emit):
+    """Footnote 2: during 2012-2015 the GFW interfered with VPNs too."""
+    era2017 = benchmark.pedantic(run_plt_experiment, args=("native-vpn",),
+                                 kwargs={"samples": 5}, rounds=1, iterations=1)
+    testbed = Testbed()
+    testbed.policy.set_interference("vpn-pptp", 0.18)  # the 2013 regime
+    method = NativeVpn(testbed)
+    testbed.run_process(method.setup())
+    browser = testbed.browser(connector=method.connector())
+    testbed.run_process(browser.load(testbed.scholar_page))
+    plts = []
+    for _ in range(5):
+        testbed.sim.run(until=testbed.sim.now + 60)
+        result = testbed.run_process(browser.load(testbed.scholar_page))
+        if result.succeeded:
+            plts.append(result.plt)
+    era2013 = sum(plts) / len(plts) if plts else float("inf")
+    emit("ablation_vpn_era", format_table(
+        ("era", "native VPN mean PLT"),
+        [("2017 (registered VPNs tolerated)", f"{era2017.subsequent.mean:.2f} s"),
+         ("2012-2015 (VPNs interfered)", f"{era2013:.2f} s")],
+        title="Ablation — the GFW's evolving VPN policy"))
+    assert era2013 > era2017.subsequent.mean * 1.5

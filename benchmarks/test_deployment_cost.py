@@ -1,0 +1,26 @@
+"""§1/§3 deployment economics: two VMs, 2.2 USD/day, 700 daily users."""
+
+from repro.core import UserPopulation, evaluate_deployment
+from repro.measure import format_table
+
+
+def test_deployment_cost(benchmark, emit):
+    report = benchmark(evaluate_deployment)
+    rows = [
+        ("daily operational cost", "2.2 USD", f"{report.daily_cost_usd:.1f} USD"),
+        ("daily active users", "700", "700"),
+        ("cost per daily user", "-",
+         f"{report.cost_per_daily_user_usd * 100:.2f} cents"),
+        ("peak load", "-", f"{report.peak_rps:.2f} req/s"),
+        ("capacity headroom", "sustainable", f"{report.headroom:.1f}x"),
+    ]
+    emit("deployment_cost", format_table(
+        ("quantity", "paper", "measured"), rows,
+        title="Deployment — two regular VMs (§1)"))
+
+    assert report.daily_cost_usd == 2.2
+    assert report.sustainable
+    # Growth check: the deployment still holds at 2x the user base.
+    double = evaluate_deployment(population=UserPopulation(
+        registered=4000, daily_active=1400))
+    assert double.sustainable

@@ -1,0 +1,37 @@
+"""Figure 3: distribution of access methods among surveyed scholars."""
+
+import pytest
+
+from repro.measure import (
+    expected_counts,
+    figure3_distribution,
+    format_table,
+    sample_population,
+)
+
+
+def test_fig3_survey(benchmark, emit):
+    population = benchmark(sample_population, 371, 2015)
+    distribution = figure3_distribution(sample_population(50_000, seed=9))
+    counts = expected_counts()
+
+    rows = [
+        ("bypass the GFW", "26%", f"{distribution['bypass-share']:.0%}"),
+        ("VPN (of bypassers)", "43%", f"{distribution['vpn']:.0%}"),
+        ("  native VPN (of VPN)", "93%",
+         f"{distribution['native-vpn-within-vpn']:.0%}"),
+        ("  OpenVPN (of VPN)", "7%",
+         f"{distribution['openvpn-within-vpn']:.0%}"),
+        ("Shadowsocks", "21%", f"{distribution['shadowsocks']:.0%}"),
+        ("Tor", "2%", f"{distribution['tor']:.0%}"),
+        ("other methods", "34%", f"{distribution['other']:.0%}"),
+    ]
+    emit("fig3_survey", format_table(
+        ("category", "paper", "measured"), rows,
+        title="Figure 3 — survey of 371 Tsinghua scholars (resampled)"))
+
+    assert len(population) == 371
+    assert abs(distribution["bypass-share"] - 0.26) < 0.01
+    assert abs(distribution["vpn"] - 0.43) < 0.02
+    assert abs(distribution["shadowsocks"] - 0.21) < 0.02
+    assert sum(counts.values()) == pytest.approx(371)

@@ -1,0 +1,83 @@
+"""Figure 4: the TCP connection structure of one Scholar HTTP session.
+
+TCP 1 — user/password auth (Shadowsocks only);
+TCP 2 — HTTPS redirect (only when the client starts with plain HTTP,
+        i.e. on first visits);
+TCP 3 — the actual data connection (always);
+TCP 4 — client-IP/account recording (first visit only).
+"""
+
+from repro.measure import Testbed, format_table
+from repro.middleware import ShadowsocksMethod
+from repro.net import PacketCapture
+
+
+def run_session_trace():
+    testbed = Testbed()
+    method = ShadowsocksMethod(testbed)
+    testbed.run_process(method.setup())
+    browser = testbed.browser(connector=method.connector())
+
+    origin_capture = PacketCapture(testbed.sim).attach(
+        testbed.net.link_between("us-core", "scholar-origin"))
+    auths_before_first = method.server.auths
+    first = testbed.run_process(browser.load(testbed.scholar_page))
+    first_auths = method.server.auths - auths_before_first
+    first_conns = origin_capture.tcp_connections()
+    first_record = len(testbed.scholar_server.accounts_recorded)
+
+    testbed.sim.run(until=testbed.sim.now + 60)
+    origin_capture.clear()
+    auths_before_second = method.server.auths
+    second = testbed.run_process(browser.load(testbed.scholar_page))
+    second_auths = method.server.auths - auths_before_second
+    second_conns = origin_capture.tcp_connections()
+    second_record = len(testbed.scholar_server.accounts_recorded) - first_record
+
+    def ports(conns):
+        out = set()
+        for flow in conns:
+            out.add(flow[2])
+            out.add(flow[4])
+        return out
+
+    return {
+        "first": first, "second": second,
+        "first_auths": first_auths, "second_auths": second_auths,
+        "first_ports": ports(first_conns), "second_ports": ports(second_conns),
+        "first_record": first_record, "second_record": second_record,
+    }
+
+
+def test_fig4_session_structure(benchmark, emit):
+    trace = benchmark.pedantic(run_session_trace, rounds=1, iterations=1)
+    rows = [
+        ("TCP 1 (auth, Shadowsocks only)",
+         "per session", f"first={trace['first_auths']} "
+         f"subsequent={trace['second_auths']}"),
+        ("TCP 2 (HTTP->HTTPS redirect)",
+         "first visit only",
+         f"port80 first={80 in trace['first_ports']} "
+         f"subsequent={80 in trace['second_ports']}"),
+        ("TCP 3 (Scholar data)",
+         "always",
+         f"port443 first={443 in trace['first_ports']} "
+         f"subsequent={443 in trace['second_ports']}"),
+        ("TCP 4 (account recording)",
+         "first visit only",
+         f"first={trace['first_record']} subsequent={trace['second_record']}"),
+    ]
+    emit("fig4_session", format_table(
+        ("connection", "paper", "measured"), rows,
+        title="Figure 4 — client-server connections per HTTP session"))
+
+    assert trace["first"].succeeded and trace["second"].succeeded
+    # TCP 1: the keep-alive lapsed between loads, so both re-auth.
+    assert trace["first_auths"] >= 1 and trace["second_auths"] >= 1
+    # TCP 2: plain-HTTP redirect connection only on the first visit.
+    assert 80 in trace["first_ports"]
+    assert 80 not in trace["second_ports"]
+    # TCP 3: data connections always present.
+    assert 443 in trace["first_ports"] and 443 in trace["second_ports"]
+    # TCP 4: account recorded exactly once, on the first visit.
+    assert trace["first_record"] == 1 and trace["second_record"] == 0

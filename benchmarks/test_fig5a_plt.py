@@ -1,0 +1,56 @@
+"""Figure 5a: first-time and subsequent page load times per method."""
+
+import pytest
+
+from repro.measure import format_table
+from repro.measure.scenarios import METHOD_NAMES, run_plt_experiment
+
+#: The paper's reported values (seconds).
+PAPER = {
+    "native-vpn": (None, 1.35),     # "between 1.2 and 1.5"
+    "openvpn": (None, 1.35),
+    "tor": (15.0, 2.8),
+    "shadowsocks": (None, 3.7),
+    "scholarcloud": (2.1, 1.3),
+}
+
+
+@pytest.fixture(scope="module")
+def plt_results():
+    return {name: run_plt_experiment(name, samples=12)
+            for name in METHOD_NAMES}
+
+
+def test_fig5a_plt(benchmark, emit, plt_results):
+    benchmark.pedantic(run_plt_experiment, args=("scholarcloud",),
+                       kwargs={"samples": 3, "seed": 1},
+                       rounds=1, iterations=1)
+    rows = []
+    for name, result in plt_results.items():
+        paper_first, paper_sub = PAPER[name]
+        rows.append((
+            name,
+            f"{paper_first:.1f}" if paper_first else "-",
+            f"{result.first_time:.1f}",
+            f"{paper_sub:.1f}",
+            f"{result.subsequent.mean:.2f}",
+            f"[{result.subsequent.minimum:.2f}, {result.subsequent.maximum:.2f}]",
+        ))
+    emit("fig5a_plt", format_table(
+        ("method", "paper first", "measured first",
+         "paper subseq", "measured subseq", "range"),
+        rows, title="Figure 5a — page load time (s)"))
+
+    r = plt_results
+    # First-time PLT always exceeds subsequent (DNS, cache, TCP 4).
+    for result in r.values():
+        assert result.first_time > result.subsequent.mean
+    # Tor's first-time PLT is by far the largest (13-20 s in the paper).
+    assert r["tor"].first_time == max(x.first_time for x in r.values())
+    assert r["tor"].first_time > 8.0
+    # Subsequent ordering: VPNs ~ ScholarCloud < Tor < Shadowsocks.
+    assert r["shadowsocks"].subsequent.mean == max(
+        x.subsequent.mean for x in r.values())
+    assert r["shadowsocks"].subsequent.mean > 2 * r["native-vpn"].subsequent.mean
+    assert r["scholarcloud"].subsequent.mean < 1.6 * r["native-vpn"].subsequent.mean
+    assert r["tor"].subsequent.mean > r["openvpn"].subsequent.mean

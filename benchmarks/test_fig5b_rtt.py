@@ -1,0 +1,56 @@
+"""Figure 5b: round-trip time through each access method."""
+
+import pytest
+
+from repro.measure import format_table
+from repro.measure.scenarios import METHOD_NAMES, run_rtt_experiment
+
+#: Paper: Tor bears the longest RTT (~330 ms average).
+PAPER_TOR_RTT = 0.330
+
+
+@pytest.fixture(scope="module")
+def rtt_results():
+    return {name: run_rtt_experiment(name, probes=15)
+            for name in METHOD_NAMES}
+
+
+def test_fig5b_rtt(benchmark, emit, rtt_results):
+    benchmark.pedantic(run_rtt_experiment, args=("native-vpn",),
+                       kwargs={"probes": 3, "seed": 1},
+                       rounds=1, iterations=1)
+    rows = [
+        (name,
+         f"{summary.mean * 1000:.0f}",
+         f"[{summary.minimum * 1000:.0f}, {summary.maximum * 1000:.0f}]")
+        for name, summary in rtt_results.items()
+    ]
+    emit("fig5b_rtt", format_table(
+        ("method", "mean RTT (ms)", "range (ms)"), rows,
+        title="Figure 5b — round trip time"))
+
+    r = rtt_results
+    # Tor's circuit has the longest RTT (paper: 330 ms mean with
+    # error bars reaching ~700 ms; meek's head-of-line polling lands
+    # our probe mean toward the upper half of that band).
+    assert r["tor"].mean == max(s.mean for s in r.values())
+    assert 0.25 < r["tor"].mean < 0.80
+    # Everything else sits in the direct-path ballpark (~200 ms).
+    for name in ("native-vpn", "openvpn", "shadowsocks", "scholarcloud"):
+        assert 0.15 < r[name].mean < 0.30, name
+    # ScholarCloud is competitive with the best.
+    assert r["scholarcloud"].mean <= min(r["native-vpn"].mean,
+                                         r["shadowsocks"].mean) * 1.2
+
+
+def test_fig5b_rtt_correlates_with_plt(benchmark, emit):
+    """§4.3: RTT correlates more strongly with first-time PLT."""
+    from repro.measure.scenarios import run_plt_experiment
+    methods = ("native-vpn", "tor", "scholarcloud")
+    rtts = benchmark.pedantic(
+        lambda: [run_rtt_experiment(m, probes=8).mean for m in methods],
+        rounds=1, iterations=1)
+    firsts = [run_plt_experiment(m, samples=3).first_time for m in methods]
+    # Higher RTT -> higher first-time PLT across the board.
+    paired = sorted(zip(rtts, firsts))
+    assert paired[0][1] < paired[-1][1]

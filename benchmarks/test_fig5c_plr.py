@@ -1,0 +1,58 @@
+"""Figure 5c: packet loss rate — robustness to GFW censorship."""
+
+import pytest
+
+from repro.measure import format_table
+from repro.measure.scenarios import (
+    METHOD_NAMES,
+    run_plr_experiment,
+    run_us_baseline_plr,
+)
+
+#: Paper-reported averages.
+PAPER = {
+    "native-vpn": 0.0021,
+    "openvpn": 0.002,
+    "tor": 0.044,
+    "shadowsocks": 0.0077,
+    "scholarcloud": 0.0022,
+}
+
+
+@pytest.fixture(scope="module")
+def plr_results():
+    results = {name: run_plr_experiment(name, loads=25)
+               for name in METHOD_NAMES}
+    results["us-baseline"] = run_us_baseline_plr(loads=10)
+    return results
+
+
+def test_fig5c_plr(benchmark, emit, plr_results):
+    benchmark.pedantic(run_plr_experiment, args=("scholarcloud",),
+                       kwargs={"loads": 3, "seed": 1},
+                       rounds=1, iterations=1)
+    rows = []
+    for name, result in plr_results.items():
+        paper = PAPER.get(name)
+        rows.append((
+            name,
+            f"{paper:.2%}" if paper is not None else "<0.1%",
+            f"{result.rate:.2%}",
+            f"{result.dropped}/{result.sent}",
+        ))
+    emit("fig5c_plr", format_table(
+        ("method", "paper", "measured", "dropped/sent"), rows,
+        title="Figure 5c — packet loss rate"))
+
+    r = plr_results
+    # Tor is the most-censored, by an order of magnitude (paper: 4.4%).
+    assert r["tor"].rate == max(x.rate for x in r.values())
+    assert 0.02 < r["tor"].rate < 0.07
+    # Shadowsocks is measurably worse than VPNs/ScholarCloud.
+    assert r["shadowsocks"].rate > r["native-vpn"].rate
+    assert r["shadowsocks"].rate > r["scholarcloud"].rate
+    # VPNs and ScholarCloud sit at path-noise levels (~0.2%).
+    for name in ("native-vpn", "openvpn", "scholarcloud"):
+        assert r[name].rate < 0.006, name
+    # The US control shows the loss is the GFW's doing, not the path.
+    assert r["us-baseline"].rate < r["tor"].rate / 5

@@ -1,0 +1,54 @@
+"""Figure 6a: client-side network traffic per access."""
+
+import pytest
+
+from repro.measure import format_table
+from repro.measure.scenarios import (
+    METHOD_NAMES,
+    run_direct_us_traffic,
+    run_traffic_experiment,
+)
+
+#: Paper: direct ≈ 19 KB; OpenVPN adds least (+8 KB), native VPN
+#: most (+14 KB).
+PAPER_BASELINE_KB = 19.0
+PAPER_OVERHEAD_KB = {"openvpn": 8.0, "native-vpn": 14.0}
+
+
+@pytest.fixture(scope="module")
+def traffic_results():
+    baseline = run_direct_us_traffic()
+    return baseline, {name: run_traffic_experiment(name)
+                      for name in METHOD_NAMES}
+
+
+def test_fig6a_traffic(benchmark, emit, traffic_results):
+    benchmark.pedantic(run_traffic_experiment, args=("openvpn",),
+                       kwargs={"seed": 1}, rounds=1, iterations=1)
+    baseline, results = traffic_results
+    rows = [("direct (dotted line)", f"{PAPER_BASELINE_KB:.0f} KB",
+             f"{baseline.cycle_bytes / 1000:.1f} KB", "-")]
+    for name, result in results.items():
+        overhead = (result.cycle_bytes - baseline.cycle_bytes) / 1000
+        paper = PAPER_OVERHEAD_KB.get(name)
+        rows.append((
+            name,
+            f"+{paper:.0f} KB" if paper is not None else "between",
+            f"{result.cycle_bytes / 1000:.1f} KB",
+            f"{overhead:+.1f} KB",
+        ))
+    emit("fig6a_traffic", format_table(
+        ("method", "paper overhead", "measured cycle", "measured overhead"),
+        rows, title="Figure 6a — network traffic per access cycle"))
+
+    overheads = {name: result.cycle_bytes - baseline.cycle_bytes
+                 for name, result in results.items()}
+    # Every method costs more than going direct.
+    assert all(value > 0 for value in overheads.values())
+    # The paper's ordering among the deployable methods: native VPN
+    # (full tunnel + keepalives) adds the most, OpenVPN adds little.
+    deployable = {k: v for k, v in overheads.items() if k != "tor"}
+    assert overheads["native-vpn"] == max(deployable.values())
+    assert overheads["native-vpn"] > 1.5 * overheads["openvpn"]
+    # ScholarCloud's blinding padding is cheap.
+    assert overheads["scholarcloud"] < overheads["native-vpn"]

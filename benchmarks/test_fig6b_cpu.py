@@ -1,0 +1,56 @@
+"""Figure 6b: client-side CPU utilization (model-based, see DESIGN.md)."""
+
+import pytest
+
+from repro.measure import (
+    ClientLoadSample,
+    browser_cpu_percent,
+    extra_client_cpu_percent,
+    format_table,
+)
+from repro.measure.scenarios import METHOD_NAMES, run_traffic_experiment
+
+#: Paper: browser CPU from 3.07% (native VPN) to 3.62% (Tor).
+PAPER = {"native-vpn": 3.07, "tor": 3.62}
+
+
+@pytest.fixture(scope="module")
+def cpu_results():
+    out = {}
+    for name in METHOD_NAMES:
+        traffic = run_traffic_experiment(name)
+        sample = ClientLoadSample(name, traffic.cycle_bytes, 60.0,
+                                  traffic.connections)
+        out[name] = (browser_cpu_percent(sample),
+                     extra_client_cpu_percent(name))
+    return out
+
+
+def test_fig6b_cpu(benchmark, emit, cpu_results):
+    def model_run():
+        sample = ClientLoadSample("tor", 60_000, 60.0, 6)
+        return browser_cpu_percent(sample)
+    benchmark(model_run)
+
+    rows = [
+        (name,
+         f"{PAPER[name]:.2f}%" if name in PAPER else "-",
+         f"{browser:.2f}%",
+         f"{extra:.2f}%")
+        for name, (browser, extra) in cpu_results.items()
+    ]
+    emit("fig6b_cpu", format_table(
+        ("method", "paper browser", "measured browser", "extra client"),
+        rows, title="Figure 6b — client CPU utilization (cost model)"))
+
+    browsers = {name: values[0] for name, values in cpu_results.items()}
+    # Tor's stacked onion layers make it the heaviest.
+    assert browsers["tor"] == max(browsers.values())
+    # Native VPN (kernel MPPE) and ScholarCloud (no client crypto)
+    # are the lightest.
+    lightest = min(browsers, key=browsers.get)
+    assert lightest in ("native-vpn", "scholarcloud")
+    # The spread is modest — the paper calls +18% "not remarkable".
+    assert browsers["tor"] / min(browsers.values()) < 1.6
+    # Extra client software cost is trivial everywhere.
+    assert all(extra < 0.5 for _b, extra in cpu_results.values())

@@ -1,0 +1,52 @@
+"""Figure 6c: client-side memory (model-based, see DESIGN.md)."""
+
+import pytest
+
+from repro.measure import (
+    ClientLoadSample,
+    format_table,
+    memory_after_extra_bytes,
+    memory_before_bytes,
+)
+from repro.measure.scenarios import METHOD_NAMES, run_traffic_experiment
+from repro.units import MiB
+
+#: Paper: Tor Browser idles ~70% above Chrome; extra after-load memory
+#: spans +30 MB (native VPN) to +90 MB (Tor).
+PAPER_EXTRA = {"native-vpn": MiB(30), "tor": MiB(90)}
+
+
+@pytest.fixture(scope="module")
+def memory_results():
+    out = {}
+    for name in METHOD_NAMES:
+        traffic = run_traffic_experiment(name)
+        sample = ClientLoadSample(name, traffic.cycle_bytes, 60.0,
+                                  traffic.connections)
+        out[name] = (memory_before_bytes(name),
+                     memory_after_extra_bytes(sample))
+    return out
+
+
+def test_fig6c_memory(benchmark, emit, memory_results):
+    benchmark(memory_before_bytes, "tor")
+    rows = [
+        (name,
+         f"{before / MiB(1):.0f} MiB",
+         f"{PAPER_EXTRA[name] / MiB(1):.0f} MB" if name in PAPER_EXTRA else "-",
+         f"{extra / MiB(1):.0f} MiB")
+        for name, (before, extra) in memory_results.items()
+    ]
+    emit("fig6c_memory", format_table(
+        ("method", "before (browser)", "paper extra", "measured extra"),
+        rows, title="Figure 6c — client memory (cost model)"))
+
+    before = {name: values[0] for name, values in memory_results.items()}
+    extra = {name: values[1] for name, values in memory_results.items()}
+    # Tor Browser's resting set is ~70% above Chrome's.
+    chrome = before["native-vpn"]
+    assert before["tor"] / chrome == pytest.approx(1.7, abs=0.1)
+    # After-load extra: native VPN least-ish, Tor most (paper 30 vs 90).
+    assert extra["tor"] == max(extra.values())
+    assert extra["tor"] > 1.8 * extra["native-vpn"]
+    assert min(extra.values()) > MiB(15)

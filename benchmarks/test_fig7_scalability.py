@@ -1,0 +1,60 @@
+"""Figure 7: PLT versus concurrent clients.
+
+The paper drives {5,15,30,60,90,120,150,180} concurrent clients
+against the single remote VM; Shadowsocks' PLT "sharply grows when the
+number of concurrent clients exceeds 60" while native VPN, OpenVPN,
+and ScholarCloud grow gently.  Tor is excluded (no control over the
+bridge infrastructure).
+"""
+
+import os
+
+import pytest
+
+from repro.measure import format_table
+from repro.measure.scenarios import run_scalability_point
+
+#: Full paper sweep, or a trimmed one when REPRO_FAST is set.
+LEVELS = ((5, 15, 30, 60, 90, 120, 150, 180)
+          if not os.environ.get("REPRO_FAST") else (5, 30, 60, 120))
+METHODS = ("native-vpn", "openvpn", "shadowsocks", "scholarcloud")
+
+
+@pytest.fixture(scope="module")
+def scalability_results():
+    results = {}
+    for method in METHODS:
+        results[method] = {
+            level: run_scalability_point(method, clients=level, cycles=1)
+            for level in LEVELS
+        }
+    return results
+
+
+def test_fig7_scalability(benchmark, emit, scalability_results):
+    benchmark.pedantic(run_scalability_point, args=("scholarcloud",),
+                       kwargs={"clients": 5, "cycles": 1, "seed": 1},
+                       rounds=1, iterations=1)
+    headers = ("clients",) + METHODS
+    rows = []
+    for level in LEVELS:
+        rows.append((level,) + tuple(
+            f"{scalability_results[m][level].mean:.2f}" for m in METHODS))
+    emit("fig7_scalability", format_table(
+        headers, rows, title="Figure 7 — mean PLT (s) vs concurrent clients"))
+
+    r = scalability_results
+    knee_low, knee_high = 60, max(LEVELS)
+    # Shadowsocks: modest growth up to 60, sharp past it.
+    ss_low = r["shadowsocks"][knee_low].mean
+    ss_start = r["shadowsocks"][LEVELS[0]].mean
+    ss_high = r["shadowsocks"][knee_high].mean
+    assert ss_low < ss_start * 1.6           # pre-knee: near flat
+    assert ss_high > ss_low * 1.8            # post-knee: sharp growth
+    # The other three stay gentle across the whole sweep.
+    for method in ("native-vpn", "openvpn", "scholarcloud"):
+        start = r[method][LEVELS[0]].mean
+        end = r[method][knee_high].mean
+        assert end < start * 1.7, method
+    # At full load, Shadowsocks is the worst of the four.
+    assert ss_high == max(r[m][knee_high].mean for m in METHODS)

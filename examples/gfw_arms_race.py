@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The arms race: active probing kills Shadowsocks; blinding agility
+keeps ScholarCloud alive through a GFW classifier update.
+
+Run:  python examples/gfw_arms_race.py
+"""
+
+from repro.core import ScholarCloud
+from repro.gfw import Classifier, GfwConfig
+from repro.measure import Testbed
+from repro.middleware import ShadowsocksMethod
+from repro.net import IPv4Address
+
+
+def act_one_probing() -> None:
+    print("ACT 1 — the GFW turns on active probing (Ensafi et al. 2015)")
+    testbed = Testbed(gfw_config=GfwConfig(inside_name="border-cn",
+                                           active_probing=True))
+    method = ShadowsocksMethod(testbed)
+    testbed.run_process(method.setup())
+    browser = testbed.browser(connector=method.connector())
+    result = testbed.run_process(browser.load(testbed.scholar_page))
+    print(f"  Shadowsocks works at first: {result.plt:.2f}s")
+    testbed.sim.run(until=testbed.sim.now + 120)
+    for probe in testbed.prober.results:
+        print(f"  GFW probe of {probe.address}:{probe.port}: "
+              f"{probe.personality} -> "
+              f"{'CONFIRMED PROXY' if probe.confirmed else 'inconclusive'}")
+    blocked = testbed.policy.ip_blocked(
+        IPv4Address(str(testbed.remote_vm.address)))
+    print(f"  server IP blocked: {blocked}")
+    after = testbed.run_process(browser.load(testbed.scholar_page))
+    print(f"  next page load: {after.error or f'{after.plt:.2f}s'}")
+
+
+def act_two_blinding_agility() -> None:
+    print("\nACT 2 — the GFW learns ScholarCloud's current blinding "
+          "signature")
+    testbed = Testbed(gfw_config=GfwConfig(inside_name="border-cn",
+                                           active_probing=True))
+    system = ScholarCloud(testbed)
+    testbed.run_process(system.deploy())
+
+    class LearnedClassifier(Classifier):
+        name = "learned-unclassified-443"
+
+        def __init__(self, jitter):
+            self.jitter = jitter
+
+        def classify(self, packet, state, policy):
+            if (packet.features.protocol_tag == "unclassified"
+                    and getattr(packet.payload, "dport", None) == 443
+                    and system.agility.codec.jitter == self.jitter):
+                return ("learned-blinded", 0.8)
+            return None
+
+    browser = testbed.browser(connector=system.connector())
+    before = testbed.run_process(browser.load(testbed.scholar_page))
+    print(f"  baseline load: {before.plt:.2f}s")
+
+    testbed.gfw.classifiers.append(LearnedClassifier(system.agility.codec.jitter))
+    testbed.policy.set_interference("learned-blinded", 0.25)
+    testbed.sim.run(until=testbed.sim.now + 60)
+    degraded = testbed.run_process(browser.load(testbed.scholar_page))
+    print(f"  after the GFW update: "
+          f"{degraded.error or f'{degraded.plt:.2f}s'} "
+          f"(interference drops: {testbed.gfw.stats.interference_drops})")
+
+    epoch = system.rotate_blinding()
+    print(f"  operators rotate the codec to epoch {epoch} "
+          "(both proxies, one deploy, no user impact)")
+    testbed.sim.run(until=testbed.sim.now + 60)
+    recovered = testbed.run_process(browser.load(testbed.scholar_page))
+    print(f"  after rotation: {recovered.plt:.2f}s — the learned "
+          "signature is stale")
+
+    probes = testbed.prober.results
+    if probes:
+        for probe in probes:
+            print(f"  (GFW also probed the remote proxy: "
+                  f"{probe.personality} -> survives: {not probe.confirmed})")
+
+
+if __name__ == "__main__":
+    act_one_probing()
+    act_two_blinding_agility()

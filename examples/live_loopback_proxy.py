@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The real thing, in miniature: actual sockets, actual blinded bytes.
+
+Starts a fake Google Scholar origin, the remote proxy, and the domestic
+proxy — all on 127.0.0.1 — then fetches the Scholar home page through
+the whitelisting, blinding chain, and shows what a wiretap between the
+proxies would (not) see.
+
+Run:  python examples/live_loopback_proxy.py
+"""
+
+import asyncio
+
+from repro.core import default_codec, scholar_whitelist
+from repro.crypto import shannon_entropy
+from repro.realnet import (
+    DomesticProxyServer,
+    RemoteProxyServer,
+    ScholarOrigin,
+    fetch_via_proxy,
+)
+
+
+async def main() -> None:
+    origin = await ScholarOrigin().start()
+    remote = await RemoteProxyServer().start()
+    domestic = await DomesticProxyServer(
+        scholar_whitelist(), "127.0.0.1", remote.port,
+        resolve=lambda name: ("127.0.0.1", origin.port)).start()
+    print(f"origin   : 127.0.0.1:{origin.port} (fake Google Scholar)")
+    print(f"remote   : 127.0.0.1:{remote.port} (outside the wall)")
+    print(f"domestic : 127.0.0.1:{domestic.port} (browser-facing proxy)")
+
+    print("\nFetching http://scholar.google.com/ through the chain:")
+    response = await fetch_via_proxy("127.0.0.1", domestic.port,
+                                     "http://scholar.google.com/")
+    status, _, rest = response.partition(b"\r\n")
+    print(f"  {status.decode()}  ({len(response)} bytes)")
+    body_line = [l for l in rest.split(b"\n") if b"giants" in l]
+    if body_line:
+        print(f"  ... {body_line[0].strip().decode()}")
+
+    print("\nA non-whitelisted site is refused at the domestic proxy:")
+    refused = await fetch_via_proxy("127.0.0.1", domestic.port,
+                                    "http://www.youtube.com/")
+    refused_status = refused.partition(b"\r\n")[0].decode()
+    print(f"  {refused_status}")
+
+    print("\nWhat the wire between the proxies carries "
+          "(encrypt-then-blind, as the proxies do):")
+    from repro.crypto import CtrCipher
+    from repro.realnet.split_proxy import tunnel_key
+    request = b"GET / HTTP/1.1\r\nHost: scholar.google.com\r\n\r\n"
+    encrypted = CtrCipher(tunnel_key(), b"\x00" * 16).encrypt(request)
+    sample = default_codec().encode(encrypted)
+    print(f"  {sample[:48].hex()}")
+    print(f"  entropy: {shannon_entropy(sample):.2f} bits/byte; "
+          f"plaintext visible: {b'scholar' in sample}")
+
+    for server in (origin, remote, domestic):
+        await server.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 660 editable installs fail; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation``) through this shim works
+offline.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""repro — reproduction of the Middleware '17 ScholarCloud paper.
+
+"Accessing Google Scholar under Extreme Internet Censorship: A Legal
+Avenue" (Lu et al., ACM Middleware 2017).
+
+The package provides:
+
+* ``repro.sim`` — a deterministic discrete-event simulation kernel;
+* ``repro.net`` / ``repro.transport`` / ``repro.dns`` / ``repro.http``
+  — a packet-level network substrate with TCP, TLS, DNS and a browser
+  model;
+* ``repro.gfw`` — a Great Firewall middlebox simulator (DPI, IP
+  blocking, DNS poisoning, keyword filtering, active probing);
+* ``repro.policy`` — the non-technical regulation side (MIIT/TCA/
+  MPS/MSS agencies, ICP registration);
+* ``repro.middleware`` — native VPN, OpenVPN, Tor (meek) and
+  Shadowsocks implementations over the simulated stack;
+* ``repro.core`` — the ScholarCloud split-proxy system with message
+  blinding, PAC generation and whitelist legalization;
+* ``repro.measure`` — the measurement harness reproducing every figure
+  in the paper's evaluation;
+* ``repro.realnet`` — runnable asyncio proxies over loopback.
+
+Quickstart::
+
+    from repro.measure import scenarios
+    result = scenarios.run_plt_experiment(method="scholarcloud", samples=10)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,93 @@
+"""Deployment economics (§1: two VMs, 2.2 USD/day, 2000+ users).
+
+A small cost/capacity model used by the deployment bench: given VM
+prices and a user population with a daily access pattern, compute the
+daily cost, per-user cost, and whether the provisioned capacity covers
+peak concurrency.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VmSpec:
+    """One rented virtual machine."""
+
+    name: str
+    location: str
+    daily_cost_usd: float
+    #: Requests/second the VM sustains before PLT degrades (from the
+    #: Figure 7 scalability measurement).
+    capacity_rps: float
+
+
+@dataclass
+class UserPopulation:
+    """Registered users and their access behaviour."""
+
+    registered: int = 2000
+    daily_active: int = 700
+    #: Mean page loads per active user per day.
+    loads_per_user: float = 12.0
+    #: Fraction of the day containing the peak hour's traffic.
+    peak_hour_share: float = 0.18
+
+    def daily_requests(self) -> float:
+        return self.daily_active * self.loads_per_user
+
+    def peak_rps(self) -> float:
+        peak_hour_requests = self.daily_requests() * self.peak_hour_share
+        return peak_hour_requests / 3600.0
+
+
+#: The paper's deployment: one domestic VM + one Aliyun ECS in San Mateo.
+PAPER_DEPLOYMENT = (
+    VmSpec("domestic-proxy", "Tsinghua, Beijing", daily_cost_usd=1.0,
+           capacity_rps=12.0),
+    VmSpec("remote-proxy", "Aliyun ECS, San Mateo", daily_cost_usd=1.2,
+           capacity_rps=10.0),
+)
+
+
+@dataclass
+class DeploymentReport:
+    daily_cost_usd: float
+    cost_per_daily_user_usd: float
+    peak_rps: float
+    capacity_rps: float
+    headroom: float
+    vms: t.Tuple[VmSpec, ...] = field(default=())
+
+    @property
+    def sustainable(self) -> bool:
+        return self.headroom >= 1.0
+
+
+def evaluate_deployment(
+    vms: t.Sequence[VmSpec] = PAPER_DEPLOYMENT,
+    population: t.Optional[UserPopulation] = None,
+) -> DeploymentReport:
+    """Cost/capacity report for a deployment."""
+    if not vms:
+        raise ConfigurationError("a deployment needs at least one VM")
+    population = population or UserPopulation()
+    if population.daily_active <= 0:
+        raise ConfigurationError("population must have active users")
+    daily_cost = sum(vm.daily_cost_usd for vm in vms)
+    # The request path crosses every VM in series, so the chain
+    # sustains only as much as its slowest stage.
+    capacity = min(vm.capacity_rps for vm in vms)
+    peak = population.peak_rps()
+    return DeploymentReport(
+        daily_cost_usd=daily_cost,
+        cost_per_daily_user_usd=daily_cost / population.daily_active,
+        peak_rps=peak,
+        capacity_rps=capacity,
+        headroom=capacity / peak if peak > 0 else float("inf"),
+        vms=tuple(vms),
+    )

@@ -1,0 +1,168 @@
+"""ScholarCloud's domestic proxy (inside the wall).
+
+The logically-centralized replacement for Shadowsocks' per-client
+local proxies (§3 "Split-proxy architecture and configuration
+automation"): browsers reach it via one PAC setting; it enforces the
+visible whitelist, and blinds traffic toward the remote proxy.  One
+transpacific connection is dialed per user stream — like Shadowsocks'
+data connection, but with no per-session authentication round trip in
+front of it (the paper's explanation for ScholarCloud's shorter PLT).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..errors import TransportError
+from ..net import IPv4Address
+from ..sim import ProcessorSharingServer, Simulator
+from ..transport import TcpConnection, TransportLayer
+from ..middleware.base import unwrap_forward, wrap_forward
+from .blinding import BlindingAgility
+from .remote_proxy import REMOTE_PROXY_PORT, blind_unwrap, blind_wrap
+from .whitelist import Whitelist
+
+#: Port the domestic proxy serves browsers on.
+DOMESTIC_PROXY_PORT = 8080
+#: CPU work per stream and per relayed byte on the domestic VM.
+CONNECT_DEMAND = 0.002
+PER_BYTE_DEMAND = 2.5e-7
+
+
+class DomesticProxy:
+    """The inside-the-wall half of the split proxy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host,
+        remote_addr: t.Union[str, IPv4Address],
+        whitelist: Whitelist,
+        agility: BlindingAgility,
+        cpu: ProcessorSharingServer,
+        port: int = DOMESTIC_PROXY_PORT,
+        remote_port: int = REMOTE_PROXY_PORT,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.remote_addr = IPv4Address(remote_addr)
+        self.whitelist = whitelist
+        self.agility = agility
+        self.cpu = cpu
+        self.port = port
+        self.remote_port = remote_port
+        self.streams_served = 0
+        self.refused = 0
+        transport = t.cast(TransportLayer, host.transport)
+        transport.listen_tcp(port, self._accept)
+
+    # -- browser-side handling ---------------------------------------------------------
+
+    def _accept(self, conn: TcpConnection) -> None:
+        self.sim.process(self._serve(conn), name="sc-domestic")
+
+    def _serve(self, conn: TcpConnection):
+        try:
+            first = yield conn.recv_message()
+        except TransportError:
+            return
+        if not (isinstance(first, tuple) and first and first[0] == "sc-connect"):
+            conn.close()
+            return
+        _tag, hostname, target_port = first
+        if not self.whitelist.allows(hostname):
+            # §3: traffic for non-whitelisted services is not touched;
+            # a direct proxy request for one is refused outright.
+            self.refused += 1
+            conn.send_message(32, meta=("sc-refused", hostname))
+            conn.close()
+            return
+        yield self.cpu.submit(CONNECT_DEMAND)
+        # Optimistic pipelining: acknowledge the browser immediately
+        # and queue its frames while the transpacific leg dials, so a
+        # stream open costs one Pacific round trip less than a naive
+        # connect-then-confirm design.
+        self.streams_served += 1
+        conn.send_message(16, meta=("sc-ready",))
+        remote = yield from self._dial_remote()
+        if remote is None:
+            conn.close()
+            return
+        codec = self.agility.codec
+        open_length = 24 + codec.pad_length(24)
+        remote.send_message(
+            open_length,
+            meta=blind_wrap(self.agility.epoch, 24,
+                            ("sc-open", hostname, target_port)),
+            features=codec.features())
+        self.sim.process(self._pump_to_remote(conn, remote), name="scd-up")
+        self.sim.process(self._pump_to_browser(conn, remote), name="scd-down")
+
+    # -- transpacific dialing -----------------------------------------------------------------
+
+    def _dial_remote(self):
+        """Open a fresh blinded connection to the remote proxy."""
+        transport = t.cast(TransportLayer, self.host.transport)
+        try:
+            conn = yield transport.connect_tcp(
+                self.remote_addr, self.remote_port,
+                features=self.agility.codec.features(), timeout=30.0)
+        except TransportError:
+            return None
+        return conn
+
+    # -- pumps ----------------------------------------------------------------------------------
+
+    def _pump_to_remote(self, browser: TcpConnection, remote: TcpConnection):
+        codec = self.agility.codec
+        while True:
+            try:
+                message = yield browser.recv_message()
+            except TransportError:
+                remote.close()
+                return
+            if message is None:
+                remote.close()
+                return
+            try:
+                length, meta = unwrap_forward(message)
+            except Exception:
+                continue
+            yield self.cpu.submit(PER_BYTE_DEMAND * length)
+            padded = length + 4 + codec.pad_length(length)
+            try:
+                remote.send_message(
+                    padded, meta=blind_wrap(self.agility.epoch, length, meta),
+                    features=codec.features())
+            except TransportError:
+                browser.close()
+                return
+
+    def _pump_to_browser(self, browser: TcpConnection, remote: TcpConnection):
+        while True:
+            try:
+                message = yield remote.recv_message()
+            except TransportError:
+                browser.close()
+                return
+            if message is None:
+                browser.close()
+                return
+            unwrapped = blind_unwrap(message, self.agility.epoch)
+            if unwrapped is None:
+                continue
+            length, meta = unwrapped
+            if meta in (("sc-ready",), ("sc-error",)):
+                # Control acks from the pipelined open; the browser
+                # already got its optimistic ready.
+                if meta == ("sc-error",):
+                    browser.close()
+                    remote.close()
+                    return
+                continue
+            yield self.cpu.submit(PER_BYTE_DEMAND * length)
+            try:
+                browser.send_message(length, meta=wrap_forward(length, meta))
+            except TransportError:
+                remote.close()
+                return

@@ -1,0 +1,153 @@
+"""ScholarCloud's remote proxy (outside the wall).
+
+Accepts blinded streams from the domestic proxy, opens target
+connections, and pumps traffic.  Two properties matter:
+
+* **Epoch discipline** — frames carry the blinding epoch; a mismatch
+  (stale codec after a rotation) is treated exactly like garbage.
+* **Probe resistance** — garbage, scanners, and GFW active probes get
+  a decoy HTTP error, indistinguishable from a boring web server
+  (contrast with Shadowsocks' hang-on-garbage tell).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..dns import StubResolver
+from ..errors import NameResolutionError, TransportError
+from ..sim import ProcessorSharingServer, Simulator
+from ..transport import TcpConnection, TransportLayer
+from ..middleware.base import estimate_meta_length, unwrap_forward, wrap_forward
+from .blinding import BlindingAgility
+
+#: Port the remote proxy listens on (looks like HTTPS).
+REMOTE_PROXY_PORT = 443
+#: CPU work per stream open and per relayed byte (lighter than
+#: Shadowsocks: no per-session auth machinery).
+CONNECT_DEMAND = 0.003
+PER_BYTE_DEMAND = 3e-7
+
+
+def blind_wrap(epoch: int, length: int, meta: t.Any) -> t.Tuple[str, int, t.Any]:
+    """Frame a relayed message for the blinded inter-proxy leg."""
+    return ("sc", epoch, wrap_forward(length, meta))
+
+
+def blind_unwrap(message: t.Any, epoch: int) -> t.Optional[t.Tuple[int, t.Any]]:
+    """Unframe; None if the message is garbage or from a stale epoch."""
+    if not (isinstance(message, tuple) and len(message) == 3
+            and message[0] == "sc"):
+        return None
+    if message[1] != epoch:
+        return None
+    try:
+        return unwrap_forward(message[2])
+    except Exception:
+        return None
+
+
+class RemoteProxy:
+    """The outside-the-wall half of the split proxy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host,
+        resolver: StubResolver,
+        cpu: ProcessorSharingServer,
+        agility: BlindingAgility,
+        port: int = REMOTE_PROXY_PORT,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.resolver = resolver
+        self.cpu = cpu
+        self.agility = agility
+        self.port = port
+        self.streams_opened = 0
+        self.decoys_served = 0
+        transport = t.cast(TransportLayer, host.transport)
+        transport.listen_tcp(port, self._accept)
+
+    def _accept(self, conn: TcpConnection) -> None:
+        self.sim.process(self._serve(conn), name="sc-remote")
+
+    def _serve(self, conn: TcpConnection):
+        try:
+            first = yield conn.recv_message()
+        except TransportError:
+            return
+        opened = blind_unwrap(first, self.agility.epoch)
+        if opened is None or not (isinstance(opened[1], tuple)
+                                  and opened[1][0] == "sc-open"):
+            # Garbage, probe, or stale epoch: answer like a web server.
+            self.decoys_served += 1
+            try:
+                conn.send_message(480, meta=("http-400", "Bad Request"))
+            except TransportError:
+                pass
+            conn.close()
+            return
+        _tag, hostname, target_port = opened[1]
+        yield self.cpu.submit(CONNECT_DEMAND)
+        transport = t.cast(TransportLayer, self.host.transport)
+        try:
+            address = yield self.resolver.resolve(hostname)
+            target = yield transport.connect_tcp(address, target_port,
+                                                 timeout=30.0)
+        except (NameResolutionError, TransportError):
+            conn.send_message(
+                24, meta=blind_wrap(self.agility.epoch, 16, ("sc-error",)),
+                features=self.agility.codec.features())
+            conn.close()
+            return
+        self.streams_opened += 1
+        conn.send_message(
+            24, meta=blind_wrap(self.agility.epoch, 16, ("sc-ready",)),
+            features=self.agility.codec.features())
+        self.sim.process(self._pump_upstream(conn, target), name="sc-up")
+        self.sim.process(self._pump_downstream(conn, target), name="sc-down")
+
+    def _pump_upstream(self, conn: TcpConnection, target: TcpConnection):
+        while True:
+            try:
+                message = yield conn.recv_message()
+            except TransportError:
+                target.close()
+                return
+            if message is None:
+                target.close()
+                return
+            unwrapped = blind_unwrap(message, self.agility.epoch)
+            if unwrapped is None:
+                continue
+            length, meta = unwrapped
+            yield self.cpu.submit(PER_BYTE_DEMAND * length)
+            try:
+                target.send_message(length, meta=meta)
+            except TransportError:
+                conn.close()
+                return
+
+    def _pump_downstream(self, conn: TcpConnection, target: TcpConnection):
+        codec = self.agility.codec
+        while True:
+            try:
+                message = yield target.recv_message()
+            except TransportError:
+                conn.close()
+                return
+            if message is None:
+                conn.close()
+                return
+            length = estimate_meta_length(message)
+            yield self.cpu.submit(PER_BYTE_DEMAND * length)
+            padded = length + 4 + codec.pad_length(length)
+            try:
+                conn.send_message(
+                    padded, meta=blind_wrap(self.agility.epoch, length, message),
+                    features=codec.features())
+            except TransportError:
+                target.close()
+                return

@@ -1,0 +1,169 @@
+"""The ScholarCloud system: deployment, connector, and PAC routing.
+
+Ties together the split proxies, the blinding agility, the whitelist,
+PAC generation, and ICP legalization — the paper's §3 in one object::
+
+    sc = ScholarCloud(testbed)
+    testbed.run_process(sc.deploy())
+    browser = testbed.browser(connector=sc.connector())
+    sc.apply_pac(browser)   # PAC-style routing: whitelist → proxy
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..dns import StubResolver
+from ..errors import MiddlewareError
+from ..http.client import Connector, DirectConnector, TlsStream
+from ..middleware.base import AccessMethod, ChannelStream, RelayedChannel
+from ..net import WireFeatures
+from ..transport import TlsSession
+from .blinding import BlindingAgility
+from .domestic_proxy import DOMESTIC_PROXY_PORT, DomesticProxy
+from .pac import PacFile
+from .remote_proxy import RemoteProxy
+from .whitelist import Whitelist, scholar_whitelist
+
+#: The deployed service's ICP registration number (from the paper).
+ICP_NUMBER = "ICP-15063437"
+
+
+class ScConnector(Connector):
+    """Browser connector that speaks the domestic-proxy protocol."""
+
+    name = "scholarcloud"
+
+    def __init__(self, system: "ScholarCloud", host=None) -> None:
+        self.system = system
+        self.host = host if host is not None else system.testbed.client
+        self.session_tickets: t.Set[str] = set()
+
+    def open(self, hostname: str, port: int, use_tls: bool):
+        testbed = self.system.testbed
+        transport = testbed.transport_of(self.host)
+        conn = yield transport.connect_tcp(
+            self.system.domestic_addr, self.system.domestic_port,
+            features=WireFeatures(protocol_tag="plain-http",
+                                  plaintext=f"CONNECT {hostname}:{port}",
+                                  entropy=4.5),
+            timeout=30.0)
+        conn.send_message(48, meta=("sc-connect", hostname, port))
+        reply = yield conn.recv_message()
+        if reply != ("sc-ready",):
+            raise MiddlewareError(f"ScholarCloud refused {hostname}: {reply!r}")
+        channel = RelayedChannel(testbed.sim, conn, overhead=4,
+                                 features=None, name="sc-client")
+        if not use_tls:
+            return ChannelStream(channel)
+        session = TlsSession(channel, sni=hostname)
+        resumed = hostname in self.session_tickets
+        yield from session.client_handshake(resumed=resumed)
+        self.session_tickets.add(hostname)
+        return TlsStream(session)
+
+
+class ScholarCloud(AccessMethod):
+    """The deployed system (scholar.thucloud.com, launched Jan 2016)."""
+
+    name = "scholarcloud"
+    display_name = "ScholarCloud"
+    requires_client_software = False  # one browser PAC setting
+
+    def __init__(self, testbed, whitelist: t.Optional[Whitelist] = None,
+                 secret: bytes = b"scholarcloud-2016") -> None:
+        super().__init__(testbed)
+        self.whitelist = whitelist if whitelist is not None else scholar_whitelist()
+        self.agility = BlindingAgility(secret)
+        self.domestic: t.Optional[DomesticProxy] = None
+        self.remote: t.Optional[RemoteProxy] = None
+        self.pac: t.Optional[PacFile] = None
+        self.icp_number: t.Optional[str] = None
+        self.deployed = False
+
+    # -- deployment -------------------------------------------------------------------
+
+    @property
+    def domestic_addr(self):
+        return self.testbed.domestic_vm.address
+
+    @property
+    def domestic_port(self) -> int:
+        return DOMESTIC_PROXY_PORT
+
+    def deploy(self):
+        """Generator: stand up both proxies and generate the PAC."""
+        from ..measure.testbed import GOOGLE_DNS_ADDR
+        testbed = self.testbed
+        if self.remote is None:
+            resolver = StubResolver(testbed.sim, testbed.remote_vm,
+                                    upstream=GOOGLE_DNS_ADDR, port=5362)
+            self.remote = RemoteProxy(
+                testbed.sim, testbed.remote_vm, resolver,
+                cpu=testbed.remote_cpu, agility=self.agility)
+        if self.domestic is None:
+            self.domestic = DomesticProxy(
+                testbed.sim, testbed.domestic_vm,
+                remote_addr=testbed.remote_vm.address,
+                whitelist=self.whitelist, agility=self.agility,
+                cpu=testbed.domestic_cpu)
+        self.pac = PacFile(self.whitelist, str(self.domestic_addr),
+                           self.domestic_port)
+        self.deployed = True
+        return
+        yield  # pragma: no cover - deploy is currently synchronous
+
+    #: AccessMethod interface: setup == deploy.
+    setup = deploy
+
+    def register_icp(self, registry) -> str:
+        """File the ICP registration (see :mod:`repro.policy`)."""
+        registration = registry.submit(
+            company="ScholarCloud Network Technology Co.",
+            service_name="ScholarCloud",
+            service_type="web-proxy for whitelisted academic services",
+            domains=("scholar.thucloud.com",),
+            whitelist=self.whitelist.domains(),
+        )
+        self.icp_number = registration.number
+        return registration.number
+
+    # -- browser integration ------------------------------------------------------------
+
+    def connector(self) -> ScConnector:
+        if not self.deployed:
+            raise MiddlewareError("ScholarCloud is not deployed; run deploy()")
+        return ScConnector(self)
+
+    def attach_client(self, host):
+        """Generator: another browser machine — just the PAC, no state."""
+        if not self.deployed:
+            raise MiddlewareError("ScholarCloud is not deployed")
+        return ScConnector(self, host=host)
+        yield  # pragma: no cover - attachment is configuration-only
+
+    def apply_pac(self, browser, direct: t.Optional[DirectConnector] = None) -> None:
+        """Install PAC routing: whitelist → proxy, everything else direct."""
+        if self.pac is None:
+            raise MiddlewareError("deploy() before applying the PAC")
+        testbed = self.testbed
+        direct_connector = direct or DirectConnector(
+            testbed.sim, testbed.transport_of(testbed.client),
+            testbed.resolver)
+        proxied = self.connector()
+        pac = self.pac
+
+        def route(url: str) -> Connector:
+            if pac.evaluate(url).startswith("PROXY"):
+                return proxied
+            return direct_connector
+
+        browser.route = route
+
+    def rotate_blinding(self) -> int:
+        """Arms-race response: both proxies jump to a fresh codec epoch."""
+        self.agility.rotate()
+        return self.agility.epoch
+
+    def teardown(self) -> None:
+        self.deployed = False

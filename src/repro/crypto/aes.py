@@ -1,0 +1,180 @@
+"""Pure-Python AES (FIPS-197) block cipher.
+
+Implements AES-128/192/256 encryption and decryption of single 16-byte
+blocks.  Performance is adequate for the reproduction's needs (framing
+a few hundred kilobytes through the loopback proxies); it is of course
+not constant-time and must never be used to protect real traffic.
+
+Verified against the FIPS-197 appendix test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..errors import CryptoError
+
+# -- tables -------------------------------------------------------------------
+
+
+def _build_sbox() -> t.Tuple[t.List[int], t.List[int]]:
+    """Construct the S-box from the finite-field definition."""
+    # Multiplicative inverse table via exp/log over GF(2^8) with
+    # generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 in GF(2^8)
+        x ^= (x << 1) ^ (0x1B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for value in range(256):
+        inverse = 0 if value == 0 else exp[255 - log[value]]
+        # Affine transform.
+        result = 0
+        for bit in range(8):
+            result |= (
+                ((inverse >> bit) & 1)
+                ^ ((inverse >> ((bit + 4) % 8)) & 1)
+                ^ ((inverse >> ((bit + 5) % 8)) & 1)
+                ^ ((inverse >> ((bit + 6) % 8)) & 1)
+                ^ ((inverse >> ((bit + 7) % 8)) & 1)
+                ^ ((0x63 >> bit) & 1)
+            ) << bit
+        sbox[value] = result
+        inv_sbox[result] = value
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36,
+        0x6C, 0xD8, 0xAB, 0x4D]
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _mul(a: int, b: int) -> int:
+    """GF(2^8) multiplication."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+class AES:
+    """AES block cipher with a fixed key."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise CryptoError(f"AES key must be 16/24/32 bytes, got {len(key)}")
+        self.key = bytes(key)
+        self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key()
+
+    # -- key schedule ------------------------------------------------------------
+
+    def _expand_key(self) -> t.List[t.List[int]]:
+        key_words = len(self.key) // 4
+        words: t.List[t.List[int]] = [
+            list(self.key[4 * i: 4 * i + 4]) for i in range(key_words)]
+        total_words = 4 * (self.rounds + 1)
+        for i in range(key_words, total_words):
+            temp = list(words[i - 1])
+            if i % key_words == 0:
+                temp = temp[1:] + temp[:1]                     # RotWord
+                temp = [SBOX[b] for b in temp]                 # SubWord
+                temp[0] ^= RCON[i // key_words - 1]
+            elif key_words > 6 and i % key_words == 4:
+                temp = [SBOX[b] for b in temp]
+            words.append([a ^ b for a, b in zip(words[i - key_words], temp)])
+        # Group into 16-byte round keys (column-major state layout).
+        return [sum(words[4 * r: 4 * r + 4], []) for r in range(self.rounds + 1)]
+
+    # -- single-block operations -----------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise CryptoError(f"block must be 16 bytes, got {len(block)}")
+        state = [block[i] ^ self._round_keys[0][i] for i in range(16)]
+        for round_index in range(1, self.rounds):
+            state = self._round(state, self._round_keys[round_index])
+        # Final round (no MixColumns).
+        state = [SBOX[b] for b in state]
+        state = self._shift_rows(state)
+        state = [state[i] ^ self._round_keys[self.rounds][i] for i in range(16)]
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise CryptoError(f"block must be 16 bytes, got {len(block)}")
+        state = [block[i] ^ self._round_keys[self.rounds][i] for i in range(16)]
+        state = self._inv_shift_rows(state)
+        state = [INV_SBOX[b] for b in state]
+        for round_index in range(self.rounds - 1, 0, -1):
+            state = [state[i] ^ self._round_keys[round_index][i] for i in range(16)]
+            state = self._inv_mix_columns(state)
+            state = self._inv_shift_rows(state)
+            state = [INV_SBOX[b] for b in state]
+        return bytes(state[i] ^ self._round_keys[0][i] for i in range(16))
+
+    # -- round building blocks ----------------------------------------------------------
+
+    @staticmethod
+    def _shift_rows(state: t.List[int]) -> t.List[int]:
+        # State is column-major: state[4*col + row].
+        out = [0] * 16
+        for col in range(4):
+            for row in range(4):
+                out[4 * col + row] = state[4 * ((col + row) % 4) + row]
+        return out
+
+    @staticmethod
+    def _inv_shift_rows(state: t.List[int]) -> t.List[int]:
+        out = [0] * 16
+        for col in range(4):
+            for row in range(4):
+                out[4 * ((col + row) % 4) + row] = state[4 * col + row]
+        return out
+
+    @staticmethod
+    def _mix_columns(state: t.List[int]) -> t.List[int]:
+        out = [0] * 16
+        for col in range(4):
+            a = state[4 * col: 4 * col + 4]
+            out[4 * col + 0] = _mul(a[0], 2) ^ _mul(a[1], 3) ^ a[2] ^ a[3]
+            out[4 * col + 1] = a[0] ^ _mul(a[1], 2) ^ _mul(a[2], 3) ^ a[3]
+            out[4 * col + 2] = a[0] ^ a[1] ^ _mul(a[2], 2) ^ _mul(a[3], 3)
+            out[4 * col + 3] = _mul(a[0], 3) ^ a[1] ^ a[2] ^ _mul(a[3], 2)
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state: t.List[int]) -> t.List[int]:
+        out = [0] * 16
+        for col in range(4):
+            a = state[4 * col: 4 * col + 4]
+            out[4 * col + 0] = _mul(a[0], 14) ^ _mul(a[1], 11) ^ _mul(a[2], 13) ^ _mul(a[3], 9)
+            out[4 * col + 1] = _mul(a[0], 9) ^ _mul(a[1], 14) ^ _mul(a[2], 11) ^ _mul(a[3], 13)
+            out[4 * col + 2] = _mul(a[0], 13) ^ _mul(a[1], 9) ^ _mul(a[2], 14) ^ _mul(a[3], 11)
+            out[4 * col + 3] = _mul(a[0], 11) ^ _mul(a[1], 13) ^ _mul(a[2], 9) ^ _mul(a[3], 14)
+        return out
+
+    def _round(self, state: t.List[int], round_key: t.List[int]) -> t.List[int]:
+        state = [SBOX[b] for b in state]
+        state = self._shift_rows(state)
+        state = self._mix_columns(state)
+        return [state[i] ^ round_key[i] for i in range(16)]

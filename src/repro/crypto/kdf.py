@@ -1,0 +1,38 @@
+"""Key derivation: OpenSSL's EVP_BytesToKey, as used by Shadowsocks.
+
+Classic Shadowsocks derives the AES key from the user password with
+``EVP_BytesToKey(MD5, no salt)``; the IV is random per connection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+
+def evp_bytes_to_key(password: bytes, key_length: int) -> bytes:
+    """OpenSSL EVP_BytesToKey with MD5 and no salt."""
+    derived = b""
+    previous = b""
+    while len(derived) < key_length:
+        previous = hashlib.md5(previous + password).digest()
+        derived += previous
+    return derived[:key_length]
+
+
+def hkdf_like(secret: bytes, info: bytes, length: int) -> bytes:
+    """A simple HMAC-SHA256 expand step (HKDF-Expand shape)."""
+    out = b""
+    block = b""
+    counter = 1
+    while len(out) < length:
+        block = _hmac.new(secret, block + info + bytes([counter]),
+                          hashlib.sha256).digest()
+        out += block
+        counter += 1
+    return out[:length]
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """Convenience wrapper over :mod:`hmac`."""
+    return _hmac.new(key, message, hashlib.sha256).digest()

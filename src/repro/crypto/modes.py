@@ -1,0 +1,119 @@
+"""Block cipher modes: CFB (as Shadowsocks' AES-256-CFB), CTR, CBC.
+
+CFB here is the full-block (CFB-128) variant with ciphertext feedback
+across partial final blocks, matching OpenSSL's ``aes-256-cfb`` that
+classic Shadowsocks used.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..errors import CryptoError
+from .aes import AES
+
+
+class CfbCipher:
+    """Stateful CFB-128 stream: encrypt/decrypt arbitrary-length data."""
+
+    def __init__(self, key: bytes, iv: bytes) -> None:
+        if len(iv) != 16:
+            raise CryptoError(f"CFB IV must be 16 bytes, got {len(iv)}")
+        self._aes = AES(key)
+        self._register = bytes(iv)
+        self._keystream = b""  # unused keystream bytes from the last block
+
+    def encrypt(self, data: bytes) -> bytes:
+        out = bytearray()
+        for byte in data:
+            if not self._keystream:
+                self._keystream = self._aes.encrypt_block(self._register)
+                self._register = b""
+            cipher_byte = byte ^ self._keystream[0]
+            self._keystream = self._keystream[1:]
+            self._register += bytes([cipher_byte])
+            out.append(cipher_byte)
+        return bytes(out)
+
+    def decrypt(self, data: bytes) -> bytes:
+        out = bytearray()
+        for byte in data:
+            if not self._keystream:
+                self._keystream = self._aes.encrypt_block(self._register)
+                self._register = b""
+            plain_byte = byte ^ self._keystream[0]
+            self._keystream = self._keystream[1:]
+            self._register += bytes([byte])
+            out.append(plain_byte)
+        return bytes(out)
+
+
+class CtrCipher:
+    """CTR mode keystream cipher (encrypt == decrypt)."""
+
+    def __init__(self, key: bytes, nonce: bytes) -> None:
+        if len(nonce) != 16:
+            raise CryptoError(f"CTR nonce must be 16 bytes, got {len(nonce)}")
+        self._aes = AES(key)
+        self._counter = int.from_bytes(nonce, "big")
+        self._keystream = b""
+
+    def process(self, data: bytes) -> bytes:
+        out = bytearray()
+        for byte in data:
+            if not self._keystream:
+                block = self._counter.to_bytes(16, "big")
+                self._keystream = self._aes.encrypt_block(block)
+                self._counter = (self._counter + 1) % (1 << 128)
+            out.append(byte ^ self._keystream[0])
+            self._keystream = self._keystream[1:]
+        return bytes(out)
+
+    encrypt = process
+    decrypt = process
+
+
+def _pkcs7_pad(data: bytes) -> bytes:
+    pad = 16 - (len(data) % 16)
+    return data + bytes([pad]) * pad
+
+
+def _pkcs7_unpad(data: bytes) -> bytes:
+    if not data or len(data) % 16:
+        raise CryptoError("invalid padded length")
+    pad = data[-1]
+    if not 1 <= pad <= 16 or data[-pad:] != bytes([pad]) * pad:
+        raise CryptoError("invalid PKCS#7 padding")
+    return data[:-pad]
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """One-shot CBC encryption with PKCS#7 padding."""
+    if len(iv) != 16:
+        raise CryptoError(f"CBC IV must be 16 bytes, got {len(iv)}")
+    aes = AES(key)
+    data = _pkcs7_pad(plaintext)
+    previous = iv
+    out = bytearray()
+    for offset in range(0, len(data), 16):
+        block = bytes(a ^ b for a, b in zip(data[offset:offset + 16], previous))
+        previous = aes.encrypt_block(block)
+        out.extend(previous)
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """One-shot CBC decryption with PKCS#7 unpadding."""
+    if len(iv) != 16:
+        raise CryptoError(f"CBC IV must be 16 bytes, got {len(iv)}")
+    if len(ciphertext) % 16:
+        raise CryptoError("CBC ciphertext length must be a block multiple")
+    aes = AES(key)
+    previous = iv
+    out = bytearray()
+    for offset in range(0, len(ciphertext), 16):
+        block = ciphertext[offset:offset + 16]
+        plain = aes.decrypt_block(block)
+        out.extend(a ^ b for a, b in zip(plain, previous))
+        previous = block
+    return _pkcs7_unpad(bytes(out))

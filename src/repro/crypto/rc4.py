@@ -1,0 +1,36 @@
+"""RC4 stream cipher (legacy; some 2012-era Shadowsocks deployments
+used ``rc4-md5``).  Included for the cipher-suite ablation bench."""
+
+from __future__ import annotations
+
+from ..errors import CryptoError
+
+
+class RC4:
+    """Stateful RC4 keystream (encrypt == decrypt)."""
+
+    def __init__(self, key: bytes) -> None:
+        if not 1 <= len(key) <= 256:
+            raise CryptoError(f"RC4 key must be 1..256 bytes, got {len(key)}")
+        state = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + state[i] + key[i % len(key)]) % 256
+            state[i], state[j] = state[j], state[i]
+        self._state = state
+        self._i = 0
+        self._j = 0
+
+    def process(self, data: bytes) -> bytes:
+        state, i, j = self._state, self._i, self._j
+        out = bytearray()
+        for byte in data:
+            i = (i + 1) % 256
+            j = (j + state[i]) % 256
+            state[i], state[j] = state[j], state[i]
+            out.append(byte ^ state[(state[i] + state[j]) % 256])
+        self._i, self._j = i, j
+        return bytes(out)
+
+    encrypt = process
+    decrypt = process

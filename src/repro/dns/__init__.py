@@ -1,0 +1,19 @@
+"""Simulated DNS: zones, authoritative servers, stub/recursive resolvers."""
+
+from .message import DnsQuery, DnsResponse, QUERY_SIZE, RESPONSE_SIZE
+from .records import DnsRecord, Zone
+from .resolver import RecursiveResolver, StubResolver
+from .server import AuthoritativeServer, DNS_PORT
+
+__all__ = [
+    "AuthoritativeServer",
+    "DNS_PORT",
+    "DnsQuery",
+    "DnsRecord",
+    "DnsResponse",
+    "QUERY_SIZE",
+    "RESPONSE_SIZE",
+    "RecursiveResolver",
+    "StubResolver",
+    "Zone",
+]

@@ -1,0 +1,47 @@
+"""DNS query/response payloads carried over simulated UDP.
+
+A query exposes the looked-up name in plaintext on the wire — exactly
+the observable the GFW's DNS poisoner keys on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as t
+from dataclasses import dataclass, field
+
+from ..net import WireFeatures
+from .records import DnsRecord
+
+#: UDP payload size of a typical query / response.
+QUERY_SIZE = 45
+RESPONSE_SIZE = 90
+
+_query_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class DnsQuery:
+    name: str
+    rtype: str = "A"
+    query_id: int = field(default_factory=lambda: next(_query_ids))
+
+    def features(self) -> WireFeatures:
+        return WireFeatures(
+            protocol_tag="dns", plaintext=self.name, entropy=3.5)
+
+
+@dataclass(frozen=True)
+class DnsResponse:
+    query_id: int
+    name: str
+    records: t.Tuple[DnsRecord, ...]
+    rcode: str = "NOERROR"  # or "NXDOMAIN"
+    #: True on answers forged by an on-path injector; endpoints cannot
+    #: see this flag (it is not part of wire features) — it exists so
+    #: tests and analysis can audit poisoning after the fact.
+    forged: bool = False
+
+    def features(self) -> WireFeatures:
+        return WireFeatures(
+            protocol_tag="dns", plaintext=self.name, entropy=3.5)

@@ -1,0 +1,67 @@
+"""The Great Firewall simulator.
+
+Compose a :class:`GreatFirewall` from a :class:`BlockPolicy` and attach
+it to the border link of a :class:`~repro.net.Network`::
+
+    from repro.gfw import GreatFirewall, GfwConfig, default_china_policy
+
+    policy = default_china_policy()
+    gfw = GreatFirewall(sim, policy, GfwConfig(inside_name="border-cn"))
+    border_link.add_middlebox(gfw)
+"""
+
+from .active_probing import (
+    ActiveProber,
+    DEFAULT_FINGERPRINTS,
+    PERSONALITY_HANG,
+    PERSONALITY_HTTP,
+    PERSONALITY_RST,
+    PERSONALITY_UNREACHABLE,
+    ProbeResult,
+)
+from .blocklist import BlockPolicy, default_china_policy
+from .dns_poisoning import BOGUS_ADDRESSES, DnsPoisoner
+from .dpi import (
+    Classifier,
+    HttpHostClassifier,
+    KNOWN_MEEK_FRONTS,
+    MeekClassifier,
+    ShadowsocksClassifier,
+    SniClassifier,
+    SS_FIRST_FRAME_RANGE,
+    TorTlsClassifier,
+    VpnProtocolClassifier,
+    default_classifiers,
+)
+from .firewall import GfwConfig, GfwStats, GreatFirewall
+from .flow_table import FlowState, FlowTable, canonical_flow
+
+__all__ = [
+    "ActiveProber",
+    "BOGUS_ADDRESSES",
+    "BlockPolicy",
+    "Classifier",
+    "DEFAULT_FINGERPRINTS",
+    "DnsPoisoner",
+    "FlowState",
+    "FlowTable",
+    "GfwConfig",
+    "GfwStats",
+    "GreatFirewall",
+    "HttpHostClassifier",
+    "KNOWN_MEEK_FRONTS",
+    "MeekClassifier",
+    "PERSONALITY_HANG",
+    "PERSONALITY_HTTP",
+    "PERSONALITY_RST",
+    "PERSONALITY_UNREACHABLE",
+    "ProbeResult",
+    "SS_FIRST_FRAME_RANGE",
+    "ShadowsocksClassifier",
+    "SniClassifier",
+    "TorTlsClassifier",
+    "VpnProtocolClassifier",
+    "canonical_flow",
+    "default_china_policy",
+    "default_classifiers",
+]

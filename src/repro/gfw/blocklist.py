@@ -1,0 +1,106 @@
+"""Block policy: the GFW's domain, IP, and keyword lists.
+
+The policy is mutable at runtime — the paper stresses that both the
+GFW's behaviour and government policy evolve over time, and the
+arms-race example exercises exactly that.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..net import IPv4Address, Prefix
+
+
+class BlockPolicy:
+    """What the GFW considers blockable."""
+
+    def __init__(self) -> None:
+        self._domain_suffixes: t.Set[str] = set()
+        self._ip_prefixes: t.List[Prefix] = []
+        self._ip_exact: t.Set[IPv4Address] = set()
+        self._keywords: t.Set[str] = set()
+        #: Per-traffic-class interference loss rates (0 disables).
+        self.class_interference: t.Dict[str, float] = {}
+        #: Traffic classes answered with forged RSTs instead of loss.
+        self.rst_classes: t.Set[str] = set()
+
+    # -- domains -----------------------------------------------------------------
+
+    def block_domain(self, suffix: str) -> None:
+        self._domain_suffixes.add(suffix.lower().rstrip("."))
+
+    def unblock_domain(self, suffix: str) -> None:
+        self._domain_suffixes.discard(suffix.lower().rstrip("."))
+
+    def domain_blocked(self, name: t.Optional[str]) -> bool:
+        if not name:
+            return False
+        name = name.lower().rstrip(".")
+        return any(name == suffix or name.endswith("." + suffix)
+                   for suffix in self._domain_suffixes)
+
+    # -- IPs ----------------------------------------------------------------------
+
+    def block_ip(self, address: t.Union[str, IPv4Address]) -> None:
+        self._ip_exact.add(IPv4Address(address))
+
+    def block_prefix(self, cidr: str) -> None:
+        self._ip_prefixes.append(Prefix(cidr))
+
+    def unblock_ip(self, address: t.Union[str, IPv4Address]) -> None:
+        self._ip_exact.discard(IPv4Address(address))
+
+    def ip_blocked(self, address: IPv4Address) -> bool:
+        if address in self._ip_exact:
+            return True
+        return any(address in prefix for prefix in self._ip_prefixes)
+
+    # -- keywords --------------------------------------------------------------------
+
+    def block_keyword(self, keyword: str) -> None:
+        self._keywords.add(keyword.lower())
+
+    def keyword_hit(self, plaintext: str) -> t.Optional[str]:
+        if not plaintext:
+            return None
+        lowered = plaintext.lower()
+        for keyword in self._keywords:
+            if keyword in lowered:
+                return keyword
+        return None
+
+    # -- interference ---------------------------------------------------------------------
+
+    def interference_for(self, label: str) -> float:
+        return self.class_interference.get(label, 0.0)
+
+    def set_interference(self, label: str, loss_rate: float) -> None:
+        self.class_interference[label] = loss_rate
+
+
+def default_china_policy() -> BlockPolicy:
+    """The 2017-era policy the paper's measurements ran under.
+
+    * ``google.com`` (and thus Google Scholar) is domain-blocked: DNS
+      poisoning plus TLS-SNI resets — the "collateral damage" the paper
+      describes.
+    * Flows classified as Tor-meek suffer heavy interference (the paper
+      measures 4.4% loss); Shadowsocks-shaped flows get milder
+      interference (0.77% total including ~0.2% path loss).
+    * Registered VPN protocols (PPTP/L2TP/OpenVPN) are recognized but
+      tolerated — the post-2015 legal position described in §1.
+    """
+    policy = BlockPolicy()
+    for domain in ("google.com", "googleapis.com", "gstatic.com",
+                   "youtube.com", "facebook.com", "twitter.com"):
+        policy.block_domain(domain)
+    policy.block_keyword("falun")
+    policy.block_keyword("tiananmen-incident")
+    # Flow-class interference: extra loss injected on top of the ~0.2%
+    # transpacific path loss, calibrated to the paper's Figure 5c.
+    policy.set_interference("tor-meek", 0.042)
+    policy.set_interference("shadowsocks", 0.0055)
+    policy.set_interference("tor-tls", 0.30)  # bare Tor is near-unusable
+    policy.rst_classes.add("blocked-sni")
+    return policy

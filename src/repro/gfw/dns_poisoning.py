@@ -1,0 +1,67 @@
+"""DNS injection: forged answers for blocked names.
+
+The injector watches UDP/53 queries crossing the monitored link.  For a
+blocked name it forges a response with a bogus address and injects it
+toward the querier from the on-path vantage point, so the forgery wins
+the race against the genuine answer (Anonymous, CCR 2012).  The real
+query still passes — exactly how the GFW operates.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..dns import DnsQuery, DnsResponse, RESPONSE_SIZE
+from ..dns.records import DnsRecord
+from ..net import Direction, Link, Packet
+from ..sim import Simulator
+from ..transport.sockets import Datagram
+from .blocklist import BlockPolicy
+
+#: Addresses the GFW injects; a small rotating pool of bogus IPs
+#: documented by the DNS-injection measurement literature.
+BOGUS_ADDRESSES = ("8.7.198.45", "59.24.3.173", "243.185.187.39")
+
+
+class DnsPoisoner:
+    """Forges answers for blocked names seen on a link."""
+
+    def __init__(self, sim: Simulator, policy: BlockPolicy) -> None:
+        self.sim = sim
+        self.policy = policy
+        self.injections = 0
+        self._rotate = 0
+
+    def inspect(self, packet: Packet, direction: Direction, link: Link) -> None:
+        """Called by the firewall for every packet; injects on matches."""
+        if packet.protocol != "udp":
+            return
+        datagram = packet.payload
+        if not isinstance(datagram, Datagram):
+            return
+        query = datagram.payload
+        if not isinstance(query, DnsQuery):
+            return
+        if not self.policy.domain_blocked(query.name):
+            return
+        bogus = BOGUS_ADDRESSES[self._rotate % len(BOGUS_ADDRESSES)]
+        self._rotate += 1
+        forged = DnsResponse(
+            query_id=query.query_id,
+            name=query.name,
+            records=(DnsRecord(query.name, "A", bogus, ttl=300.0),),
+            forged=True,
+        )
+        reply = Packet(
+            src=packet.dst,  # spoofed: appears to come from the resolver
+            dst=packet.src,
+            protocol="udp",
+            payload=Datagram(datagram.dport, datagram.sport, forged,
+                             RESPONSE_SIZE),
+            size=RESPONSE_SIZE + 28,
+            features=forged.features(),
+            flow=packet.flow,
+        )
+        querier = link.a if direction.sender == link.a.name else link.b
+        link.inject(reply, toward=querier)
+        self.injections += 1

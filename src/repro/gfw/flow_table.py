@@ -1,0 +1,105 @@
+"""Stateful flow tracking for the firewall.
+
+The GFW is stateful: classification decisions are made from the first
+packets of a flow and then remembered, so interference applies to the
+whole flow.  The table also records per-flow timing used by the meek
+poll-pattern detector and supports temporary penalty entries (the
+post-keyword-hit connection-reset window).
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+FlowKey = t.Tuple[t.Any, ...]
+
+
+def canonical_flow(flow: t.Optional[FlowKey]) -> t.Optional[FlowKey]:
+    """Direction-independent flow key."""
+    if flow is None:
+        return None
+    if len(flow) == 5:
+        proto, src, sport, dst, dport = flow
+        a, b = (str(src), sport), (str(dst), dport)
+        return (proto,) + (a + b if a <= b else b + a)
+    return flow
+
+
+@dataclass
+class FlowState:
+    """Firewall-side state for one flow."""
+
+    key: FlowKey
+    first_seen: float
+    packets: int = 0
+    bytes: int = 0
+    #: Assigned traffic-class label, once a classifier fires.
+    label: t.Optional[str] = None
+    confidence: float = 0.0
+    #: Timestamps of recent small upstream packets (poll detection).
+    recent_times: t.List[float] = field(default_factory=list)
+    #: True once an active probe has been dispatched for this flow.
+    probed: bool = False
+    last_seen: float = 0.0
+
+
+class FlowTable:
+    """Bounded flow-state store with idle eviction."""
+
+    def __init__(self, idle_timeout: float = 120.0, max_flows: int = 100_000) -> None:
+        self.idle_timeout = idle_timeout
+        self.max_flows = max_flows
+        self._flows: t.Dict[FlowKey, FlowState] = {}
+        #: (src, dst) pairs under a temporary reset penalty, with expiry.
+        self._penalties: t.Dict[t.Tuple[str, str], float] = {}
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def observe(self, flow: t.Optional[FlowKey], size: int, now: float) -> t.Optional[FlowState]:
+        key = canonical_flow(flow)
+        if key is None:
+            return None
+        state = self._flows.get(key)
+        if state is None:
+            self._evict_if_needed(now)
+            state = FlowState(key=key, first_seen=now)
+            self._flows[key] = state
+        state.packets += 1
+        state.bytes += size
+        state.last_seen = now
+        return state
+
+    def get(self, flow: t.Optional[FlowKey]) -> t.Optional[FlowState]:
+        key = canonical_flow(flow)
+        if key is None:
+            return None
+        return self._flows.get(key)
+
+    def _evict_if_needed(self, now: float) -> None:
+        if len(self._flows) < self.max_flows:
+            return
+        cutoff = now - self.idle_timeout
+        self._flows = {key: state for key, state in self._flows.items()
+                       if state.last_seen >= cutoff}
+
+    # -- penalty window ----------------------------------------------------------
+
+    def penalize(self, src: str, dst: str, until: float) -> None:
+        """All (src, dst) traffic is reset until ``until`` (keyword hit)."""
+        self._penalties[(src, dst)] = until
+        self._penalties[(dst, src)] = until
+
+    def penalized(self, src: str, dst: str, now: float) -> bool:
+        expiry = self._penalties.get((src, dst))
+        if expiry is None:
+            return False
+        if expiry < now:
+            del self._penalties[(src, dst)]
+            self._penalties.pop((dst, src), None)
+            return False
+        return True
+
+    def labeled(self, label: str) -> t.List[FlowState]:
+        return [state for state in self._flows.values() if state.label == label]

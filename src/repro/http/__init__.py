@@ -1,0 +1,49 @@
+"""Simulated HTTP: messages, origin servers, connectors, and a browser."""
+
+from .browser import (
+    Browser,
+    KEEPALIVE_SECONDS,
+    MAX_CONNECTIONS_PER_ORIGIN,
+    PageLoadResult,
+)
+from .client import Connector, DirectConnector, Stream, TcpStream, TlsStream, fetch
+from .messages import (
+    HttpRequest,
+    HttpResponse,
+    REQUEST_SIZE,
+    RESPONSE_HEADER_SIZE,
+    parse_url,
+)
+from .page import (
+    Page,
+    PageObject,
+    google_scholar_home,
+    google_scholar_results,
+    plain_site_page,
+)
+from .server import ACCOUNT_RECORD_PATH, WebServer
+
+__all__ = [
+    "ACCOUNT_RECORD_PATH",
+    "Browser",
+    "Connector",
+    "DirectConnector",
+    "HttpRequest",
+    "HttpResponse",
+    "KEEPALIVE_SECONDS",
+    "MAX_CONNECTIONS_PER_ORIGIN",
+    "Page",
+    "PageLoadResult",
+    "PageObject",
+    "REQUEST_SIZE",
+    "RESPONSE_HEADER_SIZE",
+    "Stream",
+    "TcpStream",
+    "TlsStream",
+    "WebServer",
+    "fetch",
+    "google_scholar_home",
+    "google_scholar_results",
+    "parse_url",
+    "plain_site_page",
+]

@@ -1,0 +1,233 @@
+"""Browser model: connection pool, caches, and page-load timing.
+
+Reproduces the client-side mechanics the paper's PLT numbers hinge on:
+
+* **DNS cache** — the connector's resolver caches answers, so only
+  first-time loads pay resolution latency.
+* **Content cache** — cacheable subresources are not re-fetched on
+  subsequent loads.
+* **HTTPS redirect** (TCP 2) — a first visit starts with a plain HTTP
+  request and follows the 301 to TLS; later visits go straight to 443.
+* **Account recording** (TCP 4) — when the origin asks, the browser
+  opens one extra connection to the recording endpoint.
+* **Connection pool** — at most six parallel persistent connections
+  per origin, with keep-alive expiry.
+
+Every access method is driven through this same browser; only the
+:class:`~repro.http.client.Connector` differs.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from ..sim import Resource, Simulator
+from .client import Connector, Stream, fetch
+from .messages import HttpRequest, HttpResponse
+from .page import Page, PageObject
+from .server import ACCOUNT_RECORD_PATH
+
+#: Chrome's per-origin connection limit.
+MAX_CONNECTIONS_PER_ORIGIN = 6
+#: Idle keep-alive horizon after which pooled connections are discarded.
+KEEPALIVE_SECONDS = 30.0
+
+
+@dataclass
+class PageLoadResult:
+    """Outcome of one page load."""
+
+    url: str
+    started_at: float
+    plt: float
+    first_visit: bool
+    objects_fetched: int
+    app_bytes: int
+    connections_opened: int
+    error: t.Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class _Origin:
+    """Pool state for one (connector, host, port, tls) tuple."""
+
+    slots: Resource
+    idle: t.List[t.Tuple[Stream, float]] = field(default_factory=list)
+
+
+class Browser:
+    """A simulated web browser bound to a connector."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        connector: Connector,
+        max_per_origin: int = MAX_CONNECTIONS_PER_ORIGIN,
+        keepalive: float = KEEPALIVE_SECONDS,
+        name: str = "browser",
+    ) -> None:
+        self.sim = sim
+        self.connector = connector
+        self.max_per_origin = max_per_origin
+        self.keepalive = keepalive
+        self.name = name
+        #: Optional per-URL connector routing (PAC-style). Receives the
+        #: URL, returns a Connector; default routes everything to
+        #: ``self.connector``.
+        self.route: t.Callable[[str], Connector] = lambda _url: self.connector
+        self._origins: t.Dict[t.Tuple[str, str, int, bool], _Origin] = {}
+        self._visited: t.Set[str] = set()
+        self._cached_objects: t.Set[t.Tuple[str, str]] = set()
+        self.loads: t.List[PageLoadResult] = []
+        self.connections_opened = 0
+
+    # -- cache control ---------------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Forget history, content cache, and pooled connections."""
+        self._visited.clear()
+        self._cached_objects.clear()
+        for origin in self._origins.values():
+            for stream, _idle_since in origin.idle:
+                stream.close()
+            origin.idle.clear()
+        self._origins.clear()
+
+    def has_visited(self, url: str) -> bool:
+        return url in self._visited
+
+    # -- page loading ------------------------------------------------------------------
+
+    def load(self, page: Page):
+        """Generator process: load ``page``; returns PageLoadResult."""
+        started = self.sim.now
+        first_visit = page.url not in self._visited
+        counters = {"bytes": 0, "objects": 0, "connections": 0}
+        try:
+            document = yield from self._load_document(page, first_visit, counters)
+            yield self.sim.timeout(page.parse_time)
+            yield from self._load_subresources(page, document, first_visit, counters)
+            error = None
+        except ReproError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        result = PageLoadResult(
+            url=page.url,
+            started_at=started,
+            plt=self.sim.now - started,
+            first_visit=first_visit,
+            objects_fetched=counters["objects"],
+            app_bytes=counters["bytes"],
+            connections_opened=counters["connections"],
+            error=error,
+        )
+        if error is None:
+            self._visited.add(page.url)
+        self.loads.append(result)
+        return result
+
+    def _load_document(self, page: Page, first_visit: bool,
+                       counters: t.Dict[str, int]):
+        """Fetch the main document, following the HTTP->HTTPS redirect."""
+        scheme = "http" if first_visit else "https"
+        path = page.path
+        for _hop in range(3):
+            use_tls = scheme == "https"
+            request = HttpRequest(page.host, path, scheme=scheme,
+                                  first_visit=first_visit)
+            response = yield from self._fetch_on_origin(
+                page.host, 443 if use_tls else 80, use_tls, request, counters)
+            if response.redirect_to is not None:
+                scheme = response.redirect_scheme
+                path = response.redirect_to
+                continue
+            return response
+        raise ReproError(f"{page.url}: redirect loop")
+
+    def _load_subresources(self, page: Page, document: HttpResponse,
+                           first_visit: bool, counters: t.Dict[str, int]):
+        """Fetch uncached objects (and TCP 4) in parallel."""
+        tasks = []
+        for obj in page.objects:
+            object_host = obj.host or page.host
+            if obj.cacheable and (object_host, obj.path) in self._cached_objects:
+                continue
+            tasks.append(self.sim.process(
+                self._object_task(object_host, obj, counters),
+                name=f"fetch:{obj.path}"))
+        if document.record_account:
+            tasks.append(self.sim.process(
+                self._account_record_task(page.host, counters),
+                name="account-record"))
+        if tasks:
+            yield self.sim.all_of(tasks)
+
+    def _object_task(self, host: str, obj: PageObject,
+                     counters: t.Dict[str, int]):
+        request = HttpRequest(host, obj.path, scheme="https")
+        response = yield from self._fetch_on_origin(host, 443, True, request,
+                                                    counters)
+        if response.cacheable:
+            self._cached_objects.add((host, obj.path))
+        return response
+
+    def _account_record_task(self, host: str, counters: t.Dict[str, int]):
+        """The paper's TCP 4: a dedicated, non-pooled connection."""
+        connector = self.route(f"https://{host}{ACCOUNT_RECORD_PATH}")
+        stream = yield from connector.open(host, 443, True)
+        counters["connections"] += 1
+        self.connections_opened += 1
+        request = HttpRequest(host, ACCOUNT_RECORD_PATH, scheme="https",
+                              first_visit=True)
+        response = yield from fetch(stream, request)
+        counters["bytes"] += request.size() + response.size()
+        stream.close()
+        return response
+
+    # -- pooled fetching -----------------------------------------------------------------
+
+    def _fetch_on_origin(self, host: str, port: int, use_tls: bool,
+                         request: HttpRequest, counters: t.Dict[str, int]):
+        connector = self.route(request.url)
+        origin = self._origin_for(connector, host, port, use_tls)
+        yield origin.slots.acquire()
+        try:
+            stream = yield from self._checkout(origin, connector, host, port,
+                                               use_tls, counters)
+            response = yield from fetch(stream, request)
+            counters["bytes"] += request.size() + response.size()
+            counters["objects"] += 1
+            self._checkin(origin, stream)
+            return response
+        finally:
+            origin.slots.release()
+
+    def _origin_for(self, connector: Connector, host: str, port: int,
+                    use_tls: bool) -> _Origin:
+        key = (connector.name, host, port, use_tls)
+        origin = self._origins.get(key)
+        if origin is None:
+            origin = _Origin(slots=Resource(self.sim, self.max_per_origin))
+            self._origins[key] = origin
+        return origin
+
+    def _checkout(self, origin: _Origin, connector: Connector, host: str,
+                  port: int, use_tls: bool, counters: t.Dict[str, int]):
+        while origin.idle:
+            stream, idle_since = origin.idle.pop()
+            if stream.alive and self.sim.now - idle_since <= self.keepalive:
+                return stream
+            stream.close()
+        stream = yield from connector.open(host, port, use_tls)
+        counters["connections"] += 1
+        self.connections_opened += 1
+        return stream
+
+    def _checkin(self, origin: _Origin, stream: Stream) -> None:
+        if stream.alive:
+            origin.idle.append((stream, self.sim.now))

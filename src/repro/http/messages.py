@@ -1,0 +1,62 @@
+"""HTTP message models.
+
+Requests and responses are descriptor objects with byte lengths; they
+ride the simulated TCP as messages.  Header sizes are modeled as flat
+constants typical of 2017-era Chrome traffic.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+#: Bytes of a typical GET request (request line + headers + cookies).
+REQUEST_SIZE = 390
+#: Bytes of response status line + headers.
+RESPONSE_HEADER_SIZE = 310
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """A GET request for ``path`` on virtual-host ``host``."""
+
+    host: str
+    path: str
+    scheme: str = "https"
+    first_visit: bool = False  # browser signals first visit via cookies' absence
+
+    @property
+    def url(self) -> str:
+        return f"{self.scheme}://{self.host}{self.path}"
+
+    def size(self) -> int:
+        return REQUEST_SIZE
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """Response descriptor: status plus the object it carries."""
+
+    status: int
+    path: str
+    body_size: int
+    cacheable: bool = True
+    #: Path the client should re-request (301/302), if any.
+    redirect_to: t.Optional[str] = None
+    #: Scheme for the redirect target.
+    redirect_scheme: str = "https"
+    #: True when the origin wants the client to open the side channel
+    #: that records client IP + account (the paper's TCP 4).
+    record_account: bool = False
+
+    def size(self) -> int:
+        return RESPONSE_HEADER_SIZE + self.body_size
+
+
+def parse_url(url: str) -> t.Tuple[str, str, str]:
+    """Split ``scheme://host/path`` into (scheme, host, path)."""
+    scheme, sep, rest = url.partition("://")
+    if not sep:
+        scheme, rest = "https", url
+    host, slash, path = rest.partition("/")
+    return scheme, host, "/" + path if slash else "/"

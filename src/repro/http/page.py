@@ -1,0 +1,102 @@
+"""Web page object model.
+
+A :class:`Page` is a main document plus subresources; the browser
+fetches the document, "parses" it, then fetches subresources over its
+connection pool.  Sizes for the Google Scholar home page are calibrated
+so a full first-time fetch moves ≈19 KB on the wire, matching the
+paper's Figure 6a direct-access baseline.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PageObject:
+    """One fetchable object."""
+
+    path: str
+    size: int
+    cacheable: bool = True
+    #: Host serving the object; None means the page's own host.
+    host: t.Optional[str] = None
+
+
+@dataclass
+class Page:
+    """A document and its subresources."""
+
+    host: str
+    path: str
+    document_size: int
+    objects: t.List[PageObject] = field(default_factory=list)
+    #: Whether the main document may be served from browser cache.
+    document_cacheable: bool = False
+    #: First visits trigger the account/IP recording side channel
+    #: (Figure 4's TCP 4).
+    records_account: bool = True
+    #: Seconds of client-side parse time before subresource fetches.
+    parse_time: float = 0.03
+
+    @property
+    def url(self) -> str:
+        return f"https://{self.host}{self.path}"
+
+    def total_bytes(self) -> int:
+        return self.document_size + sum(obj.size for obj in self.objects)
+
+
+def google_scholar_home() -> Page:
+    """The Google Scholar home page as measured circa 2017.
+
+    Object sizes calibrated so one cold fetch (with request/response
+    headers and TCP/TLS overhead) moves ≈19 KB, the paper's baseline.
+    """
+    return Page(
+        host="scholar.google.com",
+        path="/",
+        document_size=4800,
+        objects=[
+            PageObject("/scholar.css", 3200),
+            PageObject("/scholar.js", 3900),
+            PageObject("/img/scholar_logo.png", 2300),
+            # Per-view logging beacons: never cached, fired on every
+            # load — they keep even "subsequent" loads opening fresh
+            # connections, which is where per-connection method costs
+            # (Shadowsocks auth, Tor circuit round trips) show up.
+            PageObject("/gen204?atyp=i", 140, cacheable=False),
+            PageObject("/gen204?atyp=csi", 160, cacheable=False),
+        ],
+        document_cacheable=False,
+        records_account=True,
+        parse_time=0.25,
+    )
+
+
+def google_scholar_results() -> Page:
+    """A search-results page: bigger document, mostly cached assets."""
+    return Page(
+        host="scholar.google.com",
+        path="/scholar?q=internet+censorship",
+        document_size=48_000,
+        objects=[
+            PageObject("/scholar.css", 3600),
+            PageObject("/scholar.js", 4100),
+        ],
+        document_cacheable=False,
+        records_account=False,
+    )
+
+
+def plain_site_page(host: str = "www.example.com") -> Page:
+    """A small non-blocked page, used for baseline comparisons."""
+    return Page(
+        host=host,
+        path="/",
+        document_size=8000,
+        objects=[PageObject("/style.css", 3000), PageObject("/logo.png", 4000)],
+        document_cacheable=True,
+        records_account=False,
+    )

@@ -1,0 +1,72 @@
+"""Summary statistics for measurement series."""
+
+from __future__ import annotations
+
+import math
+import typing as t
+from dataclasses import dataclass
+
+from ..errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    stdev: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.3f} "
+                f"[{self.minimum:.3f}, {self.maximum:.3f}] "
+                f"p50={self.p50:.3f} p95={self.p95:.3f}")
+
+
+def percentile(sorted_values: t.Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values."""
+    if not sorted_values:
+        raise MeasurementError("percentile of an empty series")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(math.floor(position))
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    interpolated = (sorted_values[lower] * (1 - weight)
+                    + sorted_values[upper] * weight)
+    # Clamp: float interpolation of near-equal neighbours can land a
+    # ULP outside the sample range.
+    return min(max(interpolated, sorted_values[0]), sorted_values[-1])
+
+
+def summarize(values: t.Iterable[float]) -> Summary:
+    """Summary statistics of a series."""
+    series = sorted(float(v) for v in values)
+    if not series:
+        raise MeasurementError("cannot summarize an empty series")
+    n = len(series)
+    mean = sum(series) / n
+    variance = sum((v - mean) ** 2 for v in series) / n if n > 1 else 0.0
+    return Summary(
+        count=n,
+        mean=mean,
+        minimum=series[0],
+        maximum=series[-1],
+        p50=percentile(series, 0.50),
+        p95=percentile(series, 0.95),
+        stdev=math.sqrt(variance),
+    )
+
+
+def loss_rate(dropped: int, sent: int) -> float:
+    """Packet loss rate in [0,1]; zero traffic counts as zero loss."""
+    if sent < 0 or dropped < 0:
+        raise MeasurementError("negative packet counts")
+    if sent == 0:
+        return 0.0
+    return min(1.0, dropped / sent)

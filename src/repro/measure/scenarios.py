@@ -1,0 +1,276 @@
+"""Canonical experiment scenarios — one per figure of the paper.
+
+Each function builds a fresh :class:`Testbed`, installs one access
+method, and reproduces the corresponding measurement of §4.2/4.3:
+60 s-spaced page loads of the Google Scholar home page from a client
+at Tsinghua, against the Aliyun VM in San Mateo.
+
+The benches in ``benchmarks/`` call these functions and print the
+same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+from ..core import ScholarCloud
+from ..errors import MeasurementError
+from ..http import Browser
+from ..middleware import (
+    DirectMethod,
+    NativeVpn,
+    OpenVpn,
+    ShadowsocksMethod,
+    TorMethod,
+)
+from .metrics import Summary, loss_rate, summarize
+from .testbed import ECHO_PORT, SCHOLAR_HOST, Testbed
+
+#: Methods measured in the paper's Figures 5–7.
+METHOD_NAMES = ("native-vpn", "openvpn", "tor", "shadowsocks", "scholarcloud")
+#: Interval between measurements (§4.2: one access per 60 s).
+MEASUREMENT_INTERVAL = 60.0
+
+
+def build_method(testbed: Testbed, name: str):
+    """Instantiate (but not set up) an access method by name."""
+    factories = {
+        "direct": DirectMethod,
+        "native-vpn": NativeVpn,
+        "openvpn": OpenVpn,
+        "tor": TorMethod,
+        "shadowsocks": ShadowsocksMethod,
+        "scholarcloud": ScholarCloud,
+    }
+    factory = factories.get(name)
+    if factory is None:
+        raise MeasurementError(f"unknown access method {name!r}")
+    return factory(testbed)
+
+
+@dataclass
+class MethodWorld:
+    """A testbed with one access method installed and set up."""
+
+    testbed: Testbed
+    method: t.Any
+    browser: Browser
+    setup_time: float
+
+
+def prepare(name: str, seed: int = 0, **testbed_kwargs) -> MethodWorld:
+    """Fresh testbed + method, set up and ready to measure."""
+    testbed = Testbed(seed=seed, **testbed_kwargs)
+    method = build_method(testbed, name)
+    started = testbed.sim.now
+    testbed.run_process(method.setup(), name=f"setup:{name}")
+    setup_time = testbed.sim.now - started
+    browser = testbed.browser(connector=method.connector())
+    return MethodWorld(testbed, method, browser, setup_time)
+
+
+# -- Figure 5a: page load time ---------------------------------------------------------
+
+@dataclass
+class PltResult:
+    method: str
+    #: First-time PLT including method bootstrap (the paper's framing
+    #: for Tor: "connection setup ... involves interactions with
+    #: multiple bridges and relays").
+    first_time: float
+    subsequent: Summary
+    errors: int = 0
+
+
+def run_plt_experiment(method: str, samples: int = 20,
+                       seed: int = 0) -> PltResult:
+    """First-time and subsequent PLTs, 60 s apart (Figure 5a)."""
+    world = prepare(method, seed=seed)
+    testbed, browser = world.testbed, world.browser
+    first = testbed.run_process(browser.load(testbed.scholar_page))
+    first_time = world.setup_time + first.plt
+    subsequent: t.List[float] = []
+    errors = 0 if first.succeeded else 1
+    for _ in range(samples):
+        testbed.sim.run(until=testbed.sim.now + MEASUREMENT_INTERVAL)
+        result = testbed.run_process(browser.load(testbed.scholar_page))
+        if result.succeeded:
+            subsequent.append(result.plt)
+        else:
+            errors += 1
+    if not subsequent:
+        raise MeasurementError(f"{method}: every load failed")
+    return PltResult(method, first_time, summarize(subsequent), errors)
+
+
+# -- Figure 5b: round-trip time -----------------------------------------------------------
+
+def run_rtt_experiment(method: str, probes: int = 20,
+                       seed: int = 0) -> Summary:
+    """Application-level echo RTT to the Scholar origin (Figure 5b).
+
+    A 64-byte request/response on an established stream through the
+    method's full path — the network-level efficiency measure that the
+    paper correlates with PLT.
+    """
+    world = prepare(method, seed=seed)
+    testbed = world.testbed
+    connector = world.method.connector()
+    rtts: t.List[float] = []
+
+    def probe_process(sim):
+        stream = yield from connector.open(SCHOLAR_HOST, ECHO_PORT,
+                                           use_tls=False)
+        for _ in range(probes):
+            started = sim.now
+            stream.send(64, meta=("ping", started))
+            reply = yield stream.recv()
+            if reply is None:
+                break
+            rtts.append(sim.now - started)
+            yield sim.timeout(1.0)
+        stream.close()
+
+    testbed.run_process(probe_process(testbed.sim), name=f"rtt:{method}")
+    if not rtts:
+        raise MeasurementError(f"{method}: no RTT samples")
+    return summarize(rtts)
+
+
+# -- Figure 5c: packet loss rate -------------------------------------------------------------
+
+@dataclass
+class PlrResult:
+    method: str
+    sent: int
+    dropped: int
+
+    @property
+    def rate(self) -> float:
+        return loss_rate(self.dropped, self.sent)
+
+
+def run_plr_experiment(method: str, loads: int = 15, seed: int = 0) -> PlrResult:
+    """Packet loss on the border link during page loads (Figure 5c)."""
+    world = prepare(method, seed=seed)
+    testbed, browser = world.testbed, world.browser
+    link = testbed.border_link
+    base_sent = sum(link.packets_sent.values())
+    base_dropped = sum(link.packets_dropped.values())
+    for _ in range(loads):
+        testbed.run_process(browser.load(testbed.scholar_page))
+        testbed.sim.run(until=testbed.sim.now + MEASUREMENT_INTERVAL)
+    sent = sum(link.packets_sent.values()) - base_sent
+    dropped = sum(link.packets_dropped.values()) - base_dropped
+    return PlrResult(method, sent, dropped)
+
+
+def run_us_baseline_plr(loads: int = 15, seed: int = 0) -> PlrResult:
+    """The paper's control: the same methods from the US stay <0.1%.
+
+    Modeled as direct access with the GFW absent — the loss that
+    remains is pure path noise.
+    """
+    testbed = Testbed(seed=seed, gfw_enabled=False)
+    browser = testbed.browser()
+    link = testbed.border_link
+    for _ in range(loads):
+        testbed.run_process(browser.load(testbed.scholar_page))
+        testbed.sim.run(until=testbed.sim.now + MEASUREMENT_INTERVAL)
+    return PlrResult("us-baseline",
+                     sum(link.packets_sent.values()),
+                     sum(link.packets_dropped.values()))
+
+
+# -- Figure 6a: traffic -------------------------------------------------------------------------
+
+@dataclass
+class TrafficResult:
+    method: str
+    #: Bytes on the client access link over one 60 s measurement cycle
+    #: containing one page load.
+    cycle_bytes: int
+    connections: int
+
+
+def run_traffic_experiment(method: str, seed: int = 0,
+                           background: bool = True) -> TrafficResult:
+    """Client access-link bytes per measurement cycle (Figure 6a).
+
+    Includes everything the method makes the client emit: tunnel
+    headers, handshakes, keepalives — and, for full-tunnel native VPN,
+    the re-routed background domestic traffic.
+    """
+    world = prepare(method, seed=seed)
+    testbed, browser = world.testbed, world.browser
+    if background:
+        testbed.start_background_traffic()
+    if isinstance(world.method, NativeVpn):
+        world.method.start_keepalives()
+    # Settle into steady state, then measure one cycle containing a
+    # cold page access (the paper measures a full visit's traffic).
+    testbed.sim.run(until=testbed.sim.now + MEASUREMENT_INTERVAL)
+    browser.clear_caches()
+    capture = testbed.capture_client_link()
+    start = testbed.sim.now
+    result = testbed.run_process(browser.load(testbed.scholar_page))
+    testbed.sim.run(until=start + MEASUREMENT_INTERVAL)
+    return TrafficResult(method, capture.bytes_total(), result.connections_opened)
+
+
+def run_direct_us_traffic(seed: int = 0, background: bool = True) -> TrafficResult:
+    """The dotted 19 KB line: a direct access with no GFW.
+
+    Measured identically to the method cycles (same background noise,
+    same cold access) so the difference is purely method overhead.
+    """
+    testbed = Testbed(seed=seed, gfw_enabled=False)
+    browser = testbed.browser()
+    if background:
+        testbed.start_background_traffic()
+    testbed.sim.run(until=testbed.sim.now + MEASUREMENT_INTERVAL)
+    capture = testbed.capture_client_link()
+    start = testbed.sim.now
+    result = testbed.run_process(browser.load(testbed.scholar_page))
+    testbed.sim.run(until=start + MEASUREMENT_INTERVAL)
+    return TrafficResult("direct-us", capture.bytes_total(),
+                         result.connections_opened)
+
+
+# -- Figure 7: scalability --------------------------------------------------------------------------
+
+#: The paper's x-axis.
+CONCURRENCY_LEVELS = (5, 15, 30, 60, 90, 120, 150, 180)
+
+
+def run_scalability_point(method: str, clients: int, cycles: int = 3,
+                          seed: int = 0) -> Summary:
+    """Mean PLT with ``clients`` concurrent browsers (one Figure 7 point)."""
+    world = prepare(method, seed=seed, extra_clients=clients)
+    testbed = world.testbed
+    plts: t.List[float] = []
+    done: t.List[t.Any] = []
+
+    def client_loop(sim, host, offset):
+        connector = yield from world.method.attach_client(host)
+        browser = Browser(sim, connector, name=f"browser-{host.name}")
+        yield sim.timeout(offset)
+        # Warm-up: populate caches, then measure.
+        yield sim.process(browser.load(testbed.scholar_page))
+        for _ in range(cycles):
+            yield sim.timeout(MEASUREMENT_INTERVAL)
+            result = yield sim.process(browser.load(testbed.scholar_page))
+            if result.succeeded:
+                plts.append(result.plt)
+
+    rng = testbed.rng.stream("scalability-offsets")
+    processes = []
+    for index, host in enumerate(testbed.extra_clients[:clients]):
+        offset = rng.uniform(0, MEASUREMENT_INTERVAL)
+        processes.append(testbed.sim.process(
+            client_loop(testbed.sim, host, offset), name=f"load-{index}"))
+    testbed.sim.run(until=testbed.sim.all_of(processes))
+    if not plts:
+        raise MeasurementError(f"{method}: no scalability samples")
+    return summarize(plts)

@@ -1,0 +1,18 @@
+"""Direct access: the (blocked) baseline."""
+
+from .base import AccessMethod
+
+
+class DirectMethod(AccessMethod):
+    """No circumvention at all — what 74% of surveyed scholars do."""
+
+    name = "direct"
+    display_name = "Direct"
+    requires_client_software = False
+
+    def setup(self):
+        return
+        yield  # pragma: no cover
+
+    def connector(self):
+        return self.testbed.direct_connector()

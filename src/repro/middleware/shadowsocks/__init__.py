@@ -1,0 +1,35 @@
+"""Shadowsocks middleware: protocol, ss-server, ss-local, access method."""
+
+from .client import ShadowsocksMethod, SsConnector, SsLocal
+from .protocol import (
+    AUTH_FRAME,
+    DEFAULT_KEEPALIVE,
+    IV_LENGTH,
+    KEY_LENGTH,
+    SS_PORT,
+    address_block,
+    auth_features,
+    data_features,
+    derive_key,
+    first_frame,
+    first_frame_features,
+)
+from .server import SsServer
+
+__all__ = [
+    "AUTH_FRAME",
+    "DEFAULT_KEEPALIVE",
+    "IV_LENGTH",
+    "KEY_LENGTH",
+    "SS_PORT",
+    "ShadowsocksMethod",
+    "SsConnector",
+    "SsLocal",
+    "SsServer",
+    "address_block",
+    "auth_features",
+    "data_features",
+    "derive_key",
+    "first_frame",
+    "first_frame_features",
+]

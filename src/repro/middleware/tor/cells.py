@@ -1,0 +1,50 @@
+"""Tor cell framing.
+
+Cells are fixed 514-byte units; application payloads are padded up to
+whole cells, which is both Tor's real behaviour and the source of its
+bandwidth overhead in Figure 6a.  Cells are carried in our simulation
+as message metas of the form ``("cell", circuit_id, command, payload)``
+— sizes are computed from the real framing rules, contents stay
+abstract.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+#: Wire size of one cell (Tor link protocol 4).
+CELL_SIZE = 514
+#: Usable payload per RELAY_DATA cell.
+CELL_PAYLOAD = 498
+
+# Cell commands.
+CREATE = "create2"
+CREATED = "created2"
+EXTEND = "extend2"
+EXTENDED = "extended2"
+BEGIN = "relay-begin"
+CONNECTED = "relay-connected"
+DATA = "relay-data"
+END = "relay-end"
+
+
+def cells_for(length: int) -> int:
+    """Number of cells needed to carry ``length`` payload bytes."""
+    if length <= 0:
+        return 1
+    return (length + CELL_PAYLOAD - 1) // CELL_PAYLOAD
+
+
+def wire_bytes(length: int) -> int:
+    """On-wire bytes for ``length`` payload bytes, cell-padded."""
+    return cells_for(length) * CELL_SIZE
+
+
+def make_cell(circuit_id: int, command: str,
+              payload: t.Any = None) -> t.Tuple[str, int, str, t.Any]:
+    return ("cell", circuit_id, command, payload)
+
+
+def is_cell(message: t.Any) -> bool:
+    return (isinstance(message, tuple) and len(message) == 4
+            and message[0] == "cell")

@@ -1,0 +1,236 @@
+"""Tor relay nodes: circuit switching and exit behaviour.
+
+Each relay accepts per-circuit TCP connections from its predecessor,
+handles CREATE/EXTEND, and pumps RELAY cells in both directions.  The
+exit relay additionally resolves target names (Tor resolves at the
+exit — which is how Tor sidesteps DNS poisoning) and opens the real
+target connections.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ...dns import StubResolver
+from ...errors import MiddlewareError, NameResolutionError, TransportError
+from ...net import Host, IPv4Address, WireFeatures
+from ...sim import Simulator
+from ...transport import TcpConnection, TransportLayer
+from . import cells
+from .cells import CELL_SIZE
+
+#: Port relays listen on (OR port).
+OR_PORT = 9001
+
+
+def relay_link_features() -> WireFeatures:
+    """Relay-to-relay TLS with Tor's distinctive fingerprint."""
+    return WireFeatures(protocol_tag="tor-tls", entropy=7.95)
+
+
+class _Circuit:
+    """Relay-side state for one circuit hop."""
+
+    __slots__ = ("circuit_id", "upstream", "downstream", "streams")
+
+    def __init__(self, circuit_id: int, upstream: TcpConnection) -> None:
+        self.circuit_id = circuit_id
+        self.upstream = upstream                       # toward the client
+        self.downstream: t.Optional[TcpConnection] = None  # toward the exit
+        self.streams: t.Dict[int, TcpConnection] = {}  # exit only
+
+
+class TorRelay:
+    """A middle/exit-capable relay running on a simulated host."""
+
+    def __init__(self, sim: Simulator, host: Host,
+                 resolver: t.Optional[StubResolver] = None,
+                 name: t.Optional[str] = None) -> None:
+        self.sim = sim
+        self.host = host
+        self.name = name or host.name
+        self.resolver = resolver
+        self._circuits: t.Dict[t.Tuple[int, int], _Circuit] = {}
+        self.cells_relayed = 0
+        transport = t.cast(TransportLayer, host.transport)
+        transport.listen_tcp(OR_PORT, self._accept)
+
+    @property
+    def address(self) -> IPv4Address:
+        return self.host.address
+
+    # -- inbound connection handling -------------------------------------------------
+
+    def _accept(self, conn: TcpConnection) -> None:
+        self.sim.process(self._serve_upstream(conn),
+                         name=f"{self.name}-upstream")
+
+    def _serve_upstream(self, conn: TcpConnection):
+        """Handle cells arriving from the client direction."""
+        while True:
+            try:
+                message = yield conn.recv_message()
+            except TransportError:
+                return
+            if message is None:
+                return
+            if not cells.is_cell(message):
+                continue  # garbage (e.g. a GFW probe): swallow silently
+            _tag, circuit_id, command, payload = message
+            key = (id(conn), circuit_id)
+            circuit = self._circuits.get(key)
+            if command == cells.CREATE:
+                self._circuits[key] = _Circuit(circuit_id, conn)
+                conn.send_message(CELL_SIZE,
+                                  meta=cells.make_cell(circuit_id, cells.CREATED),
+                                  features=relay_link_features())
+                continue
+            if circuit is None:
+                continue
+            if command == cells.EXTEND:
+                yield from self._extend(circuit, payload)
+            elif command in (cells.BEGIN, cells.DATA, cells.END):
+                if circuit.downstream is not None:
+                    self.cells_relayed += 1
+                    circuit.downstream.send_message(
+                        cells.wire_bytes(_payload_length(payload)),
+                        meta=message, features=relay_link_features())
+                else:
+                    yield from self._exit_handle(circuit, command, payload)
+
+    def _extend(self, circuit: _Circuit, payload: t.Any):
+        """EXTEND: splice in a connection to the next relay."""
+        next_addr = payload["next"]
+        transport = t.cast(TransportLayer, self.host.transport)
+        try:
+            downstream = yield transport.connect_tcp(
+                next_addr, OR_PORT, features=relay_link_features(),
+                timeout=30.0)
+        except TransportError:
+            self._reply(circuit, cells.END, {"reason": "extend-failed"})
+            return
+        downstream.send_message(
+            CELL_SIZE, meta=cells.make_cell(circuit.circuit_id, cells.CREATE),
+            features=relay_link_features())
+        created = yield downstream.recv_message()
+        if not (cells.is_cell(created) and created[2] == cells.CREATED):
+            self._reply(circuit, cells.END, {"reason": "create-failed"})
+            return
+        circuit.downstream = downstream
+        self.sim.process(self._pump_backward(circuit),
+                         name=f"{self.name}-backward")
+        self._reply(circuit, cells.EXTENDED)
+
+    def _pump_backward(self, circuit: _Circuit):
+        """Forward cells arriving from downstream back toward the client."""
+        downstream = circuit.downstream
+        assert downstream is not None
+        while True:
+            try:
+                message = yield downstream.recv_message()
+            except TransportError:
+                return
+            if message is None:
+                return
+            if not cells.is_cell(message):
+                continue
+            payload = message[3]
+            self.cells_relayed += 1
+            try:
+                circuit.upstream.send_message(
+                    cells.wire_bytes(_payload_length(payload)),
+                    meta=message, features=relay_link_features())
+            except TransportError:
+                return
+
+    # -- exit-node duties ----------------------------------------------------------------
+
+    def _exit_handle(self, circuit: _Circuit, command: str, payload: t.Any):
+        if command == cells.BEGIN:
+            if payload.get("internal"):
+                # Directory stream served by the relay itself.
+                circuit.streams[payload["stream"]] = "internal"  # type: ignore[assignment]
+                self._reply(circuit, cells.CONNECTED,
+                            {"stream": payload["stream"]})
+                return
+            yield from self._exit_begin(circuit, payload)
+        elif command == cells.DATA:
+            stream_conn = circuit.streams.get(payload["stream"])
+            if stream_conn == "internal":
+                self._serve_directory(circuit, payload)
+            elif stream_conn is not None:
+                stream_conn.send_message(payload["length"],
+                                         meta=payload["meta"])
+        elif command == cells.END:
+            stream_conn = circuit.streams.pop(payload.get("stream"), None)
+            if stream_conn is not None and stream_conn != "internal":
+                stream_conn.close()
+
+    def _serve_directory(self, circuit: _Circuit, payload: t.Any) -> None:
+        """Answer a directory request with the consensus blob."""
+        from .client import DIRECTORY_BYTES
+        self._reply(circuit, cells.DATA,
+                    {"stream": payload["stream"], "length": DIRECTORY_BYTES,
+                     "meta": ("dir-response", DIRECTORY_BYTES)})
+
+    def _exit_begin(self, circuit: _Circuit, payload: t.Any):
+        if self.resolver is None:
+            raise MiddlewareError(f"{self.name} is not exit-capable (no resolver)")
+        stream_id = payload["stream"]
+        host, port = payload["host"], payload["port"]
+        transport = t.cast(TransportLayer, self.host.transport)
+        try:
+            address = yield self.resolver.resolve(host)
+            target = yield transport.connect_tcp(address, port, timeout=30.0)
+        except (NameResolutionError, TransportError) as exc:
+            self._reply(circuit, cells.END,
+                        {"stream": stream_id, "reason": str(exc)})
+            return
+        circuit.streams[stream_id] = target
+        self.sim.process(self._pump_target(circuit, stream_id, target),
+                         name=f"{self.name}-stream-{stream_id}")
+        self._reply(circuit, cells.CONNECTED, {"stream": stream_id})
+
+    def _pump_target(self, circuit: _Circuit, stream_id: int,
+                     target: TcpConnection):
+        """Wrap target responses into DATA cells toward the client."""
+        while True:
+            try:
+                message = yield target.recv_message()
+            except TransportError:
+                self._reply(circuit, cells.END,
+                            {"stream": stream_id, "reason": "reset"})
+                return
+            if message is None:
+                self._reply(circuit, cells.END,
+                            {"stream": stream_id, "reason": "eof"})
+                return
+            # Length is unknown at the exit (message metas don't carry
+            # it); approximate with one KB-scale response per meta by
+            # asking the meta itself when available.
+            length = _meta_length(message)
+            self._reply(circuit, cells.DATA,
+                        {"stream": stream_id, "length": length,
+                         "meta": message})
+
+    def _reply(self, circuit: _Circuit, command: str,
+               payload: t.Any = None) -> None:
+        try:
+            circuit.upstream.send_message(
+                cells.wire_bytes(_payload_length(payload)),
+                meta=cells.make_cell(circuit.circuit_id, command, payload),
+                features=relay_link_features())
+        except TransportError:
+            pass
+
+
+def _payload_length(payload: t.Any) -> int:
+    if isinstance(payload, dict):
+        return int(payload.get("length", 0))
+    return 0
+
+
+def _meta_length(meta: t.Any) -> int:
+    """Byte length of an application message meta (shared estimator)."""
+    from ..base import estimate_meta_length
+    return estimate_meta_length(meta)

@@ -1,0 +1,26 @@
+"""VPN middleware: native PPTP/L2TP and OpenVPN over the simulated stack."""
+
+from .nat import NatEntry, NatTable
+from .openvpn import DEFAULT_ROUTED_PREFIXES, OPENVPN_OVERHEAD, OpenVpn
+from .pptp import L2TP_OVERHEAD, NativeVpn, PPTP_OVERHEAD
+from .tunnel import (
+    VpnTunnelClient,
+    VpnTunnelServer,
+    full_tunnel_selector,
+    split_tunnel_selector,
+)
+
+__all__ = [
+    "DEFAULT_ROUTED_PREFIXES",
+    "L2TP_OVERHEAD",
+    "NatEntry",
+    "NatTable",
+    "NativeVpn",
+    "OPENVPN_OVERHEAD",
+    "OpenVpn",
+    "PPTP_OVERHEAD",
+    "VpnTunnelClient",
+    "VpnTunnelServer",
+    "full_tunnel_selector",
+    "split_tunnel_selector",
+]

@@ -1,0 +1,45 @@
+"""On-path middlebox interface.
+
+A middlebox attaches to a :class:`~repro.net.link.Link` and sees every
+packet crossing it, in both directions.  This is how the Great Firewall
+is wired into the topology: the paper notes that 99% of GFW blocking
+happens at the China–US border routers, so the GFW middlebox sits on
+the border link.
+
+Middleboxes return a :class:`Verdict` for each packet, and may inject
+extra packets (e.g. forged RSTs, poisoned DNS answers) toward either
+endpoint via :meth:`~repro.net.link.Link.inject`.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing as t
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from .link import Direction, Link
+    from .packet import Packet
+
+
+class Verdict(enum.Enum):
+    """Outcome of middlebox inspection for one packet."""
+
+    #: Let the packet continue unmodified.
+    PASS = "pass"
+    #: Silently discard the packet (manifests as loss to endpoints).
+    DROP = "drop"
+
+
+class Middlebox:
+    """Base class: a transparent pass-through inspector."""
+
+    name = "middlebox"
+
+    def process(
+        self,
+        packet: "Packet",
+        direction: "Direction",
+        link: "Link",
+    ) -> Verdict:
+        """Inspect ``packet``; override in subclasses."""
+        return Verdict.PASS

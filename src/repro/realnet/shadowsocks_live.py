@@ -1,0 +1,187 @@
+"""A live Shadowsocks-like pair over loopback, with real AES-256-CFB.
+
+``SsLiveLocal`` exposes a minimal SOCKS5 interface (no auth method,
+CONNECT only); ``SsLiveServer`` decrypts the classic
+``IV ‖ Enc(atyp ‖ len ‖ host ‖ port ‖ payload)`` stream with the
+pure-Python cipher from :mod:`repro.crypto` and relays to the target.
+Wrong-key bytes are swallowed and the connection left hanging — the
+probe-resistance behaviour (and active-probing fingerprint) the
+simulator models.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import typing as t
+
+from ..crypto import CfbCipher
+from ..middleware.shadowsocks.protocol import IV_LENGTH, derive_key
+
+SOCKS_VERSION = 5
+
+
+class SsLiveServer:
+    """ss-server: decrypt, connect, relay."""
+
+    def __init__(self, password: str, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.key = derive_key(password)
+        self.host = host
+        self.port = port
+        self._server: t.Optional[asyncio.base_events.Server] = None
+        self.relays = 0
+        self.hung_connections = 0
+
+    async def start(self) -> "SsLiveServer":
+        self._server = await asyncio.start_server(self._handle, self.host,
+                                                  self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            iv = await reader.readexactly(IV_LENGTH)
+            decrypt = CfbCipher(self.key, iv)
+            header = decrypt.decrypt(await reader.readexactly(2))
+            atyp, name_length = header[0], header[1]
+            if atyp != 3 or not 1 <= name_length <= 255:
+                # Garbage / wrong key: hang, never answer.
+                self.hung_connections += 1
+                await reader.read(-1)
+                return
+            rest = decrypt.decrypt(await reader.readexactly(name_length + 2))
+            hostname = rest[:name_length].decode(errors="replace")
+            port = int.from_bytes(rest[name_length:], "big")
+            target_reader, target_writer = await asyncio.open_connection(
+                hostname, port)
+            self.relays += 1
+            encrypt = CfbCipher(self.key, iv)
+
+            async def upstream():
+                while True:
+                    chunk = await reader.read(4096)
+                    if not chunk:
+                        target_writer.close()
+                        return
+                    target_writer.write(decrypt.decrypt(chunk))
+                    await target_writer.drain()
+
+            async def downstream():
+                while True:
+                    chunk = await target_reader.read(4096)
+                    if not chunk:
+                        writer.close()
+                        return
+                    writer.write(encrypt.encrypt(chunk))
+                    await writer.drain()
+
+            await asyncio.gather(upstream(), downstream(),
+                                 return_exceptions=True)
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+            pass
+        finally:
+            writer.close()
+
+
+class SsLiveLocal:
+    """ss-local: SOCKS5 in, encrypted stream out."""
+
+    def __init__(self, password: str, server_host: str, server_port: int,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.key = derive_key(password)
+        self.server_host = server_host
+        self.server_port = server_port
+        self.host = host
+        self.port = port
+        self._server: t.Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> "SsLiveLocal":
+        self._server = await asyncio.start_server(self._handle, self.host,
+                                                  self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            # SOCKS5 greeting.
+            version, n_methods = await reader.readexactly(2)
+            if version != SOCKS_VERSION:
+                writer.close()
+                return
+            await reader.readexactly(n_methods)
+            writer.write(bytes([SOCKS_VERSION, 0]))  # no auth
+            # CONNECT request (domain addresses only).
+            version, command, _rsv, atyp = await reader.readexactly(4)
+            if command != 1 or atyp != 3:
+                writer.write(bytes([SOCKS_VERSION, 7, 0, 1]) + b"\0" * 6)
+                writer.close()
+                return
+            (name_length,) = await reader.readexactly(1)
+            hostname = await reader.readexactly(name_length)
+            port_bytes = await reader.readexactly(2)
+            # Dial the ss-server and send the encrypted request header.
+            remote_reader, remote_writer = await asyncio.open_connection(
+                self.server_host, self.server_port)
+            iv = os.urandom(IV_LENGTH)
+            encrypt = CfbCipher(self.key, iv)
+            decrypt = CfbCipher(self.key, iv)
+            header = bytes([3, name_length]) + hostname + port_bytes
+            remote_writer.write(iv + encrypt.encrypt(header))
+            await remote_writer.drain()
+            writer.write(bytes([SOCKS_VERSION, 0, 0, 1]) + b"\0" * 6)
+            await writer.drain()
+
+            async def upstream():
+                while True:
+                    chunk = await reader.read(4096)
+                    if not chunk:
+                        remote_writer.close()
+                        return
+                    remote_writer.write(encrypt.encrypt(chunk))
+                    await remote_writer.drain()
+
+            async def downstream():
+                while True:
+                    chunk = await remote_reader.read(4096)
+                    if not chunk:
+                        writer.close()
+                        return
+                    writer.write(decrypt.decrypt(chunk))
+                    await writer.drain()
+
+            await asyncio.gather(upstream(), downstream(),
+                                 return_exceptions=True)
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+            pass
+        finally:
+            writer.close()
+
+
+async def socks5_fetch(proxy_host: str, proxy_port: int, hostname: str,
+                       port: int, request: bytes) -> bytes:
+    """Minimal SOCKS5 client: CONNECT, send request, read to EOF."""
+    reader, writer = await asyncio.open_connection(proxy_host, proxy_port)
+    writer.write(bytes([SOCKS_VERSION, 1, 0]))
+    await reader.readexactly(2)
+    encoded = hostname.encode()
+    writer.write(bytes([SOCKS_VERSION, 1, 0, 3, len(encoded)]) + encoded
+                 + port.to_bytes(2, "big"))
+    await reader.readexactly(10)
+    writer.write(request)
+    await writer.drain()
+    response = await reader.read(-1)
+    writer.close()
+    return response

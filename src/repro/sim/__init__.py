@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel.
+
+Public surface::
+
+    from repro.sim import Simulator
+
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.5)
+        return "done"
+
+    result = sim.run(until=sim.process(proc(sim)))
+"""
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .kernel import Process, Simulator
+from .monitor import Counter, Gauge, TraceLog, TraceRecord
+from .resources import ProcessorSharingServer, Resource, Store
+from .rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "Event",
+    "Gauge",
+    "Process",
+    "ProcessorSharingServer",
+    "Resource",
+    "RngRegistry",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceLog",
+    "TraceRecord",
+]

@@ -1,0 +1,205 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence that processes can wait on.
+It moves through three states: *pending* (created, not yet decided),
+*triggered* (scheduled to fire), and *processed* (callbacks have run).
+Events may succeed with a value or fail with an exception; a process
+waiting on a failed event has the exception thrown into its generator.
+
+This mirrors the SimPy event model closely enough that anyone who has
+used SimPy can read the scenario code, without pulling in a dependency.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..errors import SimulationError
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernel import Simulator
+
+#: Priority band for events that must fire before ordinary events at the
+#: same timestamp (e.g. interrupts).
+PRIORITY_URGENT = 0
+#: Default priority band.
+PRIORITY_NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.  An event can only be waited on by
+        processes of the same simulator.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_decided", "_processed")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: t.Optional[t.List[t.Callable[["Event"], None]]] = []
+        self._value: t.Any = None
+        self._ok: t.Optional[bool] = None
+        self._decided = False
+        self._processed = False
+
+    # -- state inspection ------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been decided (succeed/fail called)."""
+        return self._decided
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been decided yet")
+        return self._ok
+
+    @property
+    def value(self) -> t.Any:
+        """The success value or failure exception."""
+        if not self._decided:
+            raise SimulationError("event has not been decided yet")
+        return self._value
+
+    # -- state transitions -----------------------------------------------
+
+    def succeed(self, value: t.Any = None) -> "Event":
+        """Decide the event successfully and schedule its callbacks."""
+        self._decide(True, value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Decide the event with a failure and schedule its callbacks."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._decide(False, exception)
+        return self
+
+    def _decide(self, ok: bool, value: t.Any) -> None:
+        if self._decided:
+            raise SimulationError(f"{self!r} has already been decided")
+        self._decided = True
+        self._ok = ok
+        self._value = value
+        self.sim._schedule_event(self, PRIORITY_NORMAL, 0.0)
+
+    def _run_callbacks(self) -> None:
+        """Invoked by the kernel when the event is popped from the queue."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def add_callback(self, callback: t.Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event fires.
+
+        If the event has already been processed the callback runs
+        immediately, so late subscribers do not deadlock.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self._decided else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: t.Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        sim._schedule_event(self, PRIORITY_NORMAL, delay)
+
+    def _run_callbacks(self) -> None:
+        # A timeout is decided at the moment it fires, not at creation,
+        # so `triggered` correctly reads False while it is still pending.
+        self._decided = True
+        self._ok = True
+        super()._run_callbacks()
+
+
+class AnyOf(Event):
+    """Fires as soon as any child event fires.
+
+    Succeeds with a dict mapping each already-fired child to its value.
+    If the first child to fire failed, this event fails with the same
+    exception.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: t.Sequence[Event]) -> None:
+        super().__init__(sim)
+        self.events = tuple(events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._decided:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed(self._collect())
+
+    def _collect(self) -> t.Dict[Event, t.Any]:
+        return {
+            event: event.value
+            for event in self.events
+            if event.triggered and event.ok
+        }
+
+
+class AllOf(Event):
+    """Fires once every child event has fired.
+
+    Succeeds with a dict mapping every child to its value; fails fast if
+    any child fails.
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: t.Sequence[Event]) -> None:
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._decided:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e.value for e in self.events})

@@ -1,0 +1,164 @@
+"""End-to-end tests of the ScholarCloud system against the GFW."""
+
+import pytest
+
+from repro.core import ScholarCloud, evaluate_deployment, UserPopulation
+from repro.errors import ConfigurationError, MiddlewareError
+from repro.measure import Testbed
+
+
+def sc_world(**kwargs):
+    testbed = Testbed(**kwargs)
+    system = ScholarCloud(testbed)
+    testbed.run_process(system.deploy())
+    return testbed, system
+
+
+def test_scholarcloud_reaches_blocked_scholar():
+    testbed, system = sc_world()
+    browser = testbed.browser(connector=system.connector())
+    result = testbed.run_process(browser.load(testbed.scholar_page))
+    assert result.succeeded, result.error
+
+
+def test_connector_requires_deploy():
+    with pytest.raises(MiddlewareError):
+        ScholarCloud(Testbed()).connector()
+
+
+def test_blinded_flows_stay_unclassified():
+    testbed, system = sc_world()
+    browser = testbed.browser(connector=system.connector())
+    for _ in range(3):
+        testbed.run_process(browser.load(testbed.scholar_page))
+        testbed.sim.run(until=testbed.sim.now + 60)
+    labeled = testbed.gfw.stats.flows_labeled
+    assert "shadowsocks" not in labeled
+    assert "tor-meek" not in labeled
+    assert testbed.gfw.stats.sni_resets == 0
+
+
+def test_non_whitelisted_host_refused_by_domestic_proxy():
+    testbed, system = sc_world()
+
+    def body(sim):
+        connector = system.connector()
+        stream = yield from connector.open("www.blocked.example", 443, True)
+        return stream
+
+    with pytest.raises(MiddlewareError):
+        testbed.run_process(body(testbed.sim))
+    assert system.domestic.refused == 1
+
+
+def test_pac_routing_sends_only_whitelist_through_proxy():
+    testbed, system = sc_world()
+    browser = testbed.browser()  # direct by default
+    system.apply_pac(browser)
+    scholar = testbed.run_process(browser.load(testbed.scholar_page))
+    control = testbed.run_process(browser.load(testbed.control_page))
+    assert scholar.succeeded and control.succeeded
+    # The domestic proxy only ever saw whitelisted streams.
+    assert system.domestic.streams_served > 0
+    assert system.domestic.refused == 0
+
+
+def test_remote_proxy_survives_active_probing():
+    """Blinding's probe resistance: garbage gets an HTTP decoy."""
+    from repro.gfw import GfwConfig
+    testbed = Testbed(gfw_config=GfwConfig(inside_name="border-cn",
+                                           active_probing=True))
+    system = ScholarCloud(testbed)
+    testbed.run_process(system.deploy())
+    browser = testbed.browser(connector=system.connector())
+    testbed.run_process(browser.load(testbed.scholar_page))
+    testbed.sim.run(until=testbed.sim.now + 120)
+    from repro.net import IPv4Address
+    assert not testbed.policy.ip_blocked(
+        IPv4Address(str(testbed.remote_vm.address)))
+
+
+def test_blinding_rotation_mid_flight_keeps_working():
+    """§3: 'we can change our blinding mechanism at any time'."""
+    testbed, system = sc_world()
+    browser = testbed.browser(connector=system.connector())
+    first = testbed.run_process(browser.load(testbed.scholar_page))
+    epoch = system.rotate_blinding()
+    assert epoch == 1
+    testbed.sim.run(until=testbed.sim.now + 60)
+    second = testbed.run_process(browser.load(testbed.scholar_page))
+    assert first.succeeded and second.succeeded
+
+
+def test_arms_race_new_classifier_defeated_by_rotation():
+    """If the GFW learns the current blinded signature, rotating the
+    codec (new padding profile) stales the classifier."""
+    from repro.gfw import Classifier
+
+    testbed, system = sc_world()
+
+    class LearnedBlindClassifier(Classifier):
+        """A GFW update keying on the epoch-0 padding profile."""
+        name = "learned-blinded"
+
+        def __init__(self, learned_jitter):
+            self.learned_jitter = learned_jitter
+
+        def classify(self, packet, state, policy):
+            features = packet.features
+            if (features.protocol_tag == "unclassified"
+                    and getattr(packet.payload, "dport", None) == 443):
+                # Matches only the learned padding generation.
+                if system.agility.codec.jitter == self.learned_jitter:
+                    return ("learned-blinded", 0.8)
+            return None
+
+    learned = LearnedBlindClassifier(system.agility.codec.jitter)
+    testbed.gfw.classifiers.append(learned)
+    testbed.policy.set_interference("learned-blinded", 0.30)
+
+    browser = testbed.browser(connector=system.connector())
+    slow = testbed.run_process(browser.load(testbed.scholar_page))
+    system.rotate_blinding()  # operator response: new epoch
+    testbed.sim.run(until=testbed.sim.now + 60)
+    fast = testbed.run_process(browser.load(testbed.scholar_page))
+    assert fast.succeeded
+    # After rotation the classifier no longer matches, so no (new)
+    # interference applies.
+    assert fast.plt < max(slow.plt, 5.0)
+
+
+def test_icp_registration_through_policy_stack():
+    from repro.policy import RegulatoryEnvironment
+    testbed, system = sc_world()
+    environment = RegulatoryEnvironment(testbed.sim)
+    number = system.register_icp(environment.registry)
+    assert number.startswith("ICP-")
+    registration = environment.registry.lookup(number)
+    assert "scholar.google.com" in registration.whitelist
+    # Approval lands after the review period.
+    testbed.sim.run(until=testbed.sim.now + 40 * 86400)
+    assert environment.registry.is_registered("scholar.thucloud.com")
+
+
+# -- deployment economics ---------------------------------------------------------------
+
+def test_deployment_matches_paper_cost():
+    report = evaluate_deployment()
+    assert report.daily_cost_usd == pytest.approx(2.2)
+    assert report.sustainable
+    assert report.cost_per_daily_user_usd < 0.01  # ~0.3 cents/user/day
+
+
+def test_deployment_detects_overload():
+    heavy = UserPopulation(registered=100_000, daily_active=50_000,
+                           loads_per_user=40)
+    report = evaluate_deployment(population=heavy)
+    assert not report.sustainable
+
+
+def test_deployment_validation():
+    with pytest.raises(ConfigurationError):
+        evaluate_deployment(vms=())
+    with pytest.raises(ConfigurationError):
+        evaluate_deployment(population=UserPopulation(daily_active=0))

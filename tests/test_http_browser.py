@@ -1,0 +1,145 @@
+"""Integration tests: browser + origin server over the simulated stack."""
+
+import pytest
+
+from repro.dns import AuthoritativeServer, RecursiveResolver, StubResolver, Zone
+from repro.http import (
+    Browser,
+    DirectConnector,
+    WebServer,
+    google_scholar_home,
+    plain_site_page,
+)
+from repro.net import Network, PacketCapture
+from repro.sim import Simulator
+from repro.transport import install_transport
+from repro.units import Mbps, ms
+
+
+class World:
+    """Client in Beijing, origin in the US, campus DNS in between."""
+
+    def __init__(self, rtt_one_way=ms(95)):
+        self.sim = Simulator()
+        self.net = Network(self.sim)
+        self.client = self.net.add_host("client", address="59.66.1.10")
+        self.campus = self.net.add_router("campus", address="59.66.1.1")
+        self.dns_host = self.net.add_host("campus-dns", address="59.66.1.53")
+        self.origin = self.net.add_host("origin", address="172.217.194.80")
+        self.origin_dns = self.net.add_host("google-dns", address="172.217.194.53")
+        self.net.connect(self.client, self.campus, latency=ms(1), bandwidth=Mbps(100))
+        self.net.connect(self.dns_host, self.campus, latency=ms(1), bandwidth=Mbps(100))
+        self.border_link = self.net.connect(
+            self.campus, self.origin, latency=rtt_one_way, bandwidth=Mbps(100))
+        self.net.connect(self.campus, self.origin_dns,
+                         latency=rtt_one_way, bandwidth=Mbps(100))
+        self.net.build_routes()
+        for host in (self.client, self.dns_host, self.origin, self.origin_dns):
+            install_transport(self.sim, host)
+
+        zone = Zone("google.com")
+        zone.add_a("scholar.google.com", "172.217.194.80")
+        AuthoritativeServer(self.sim, self.origin_dns, [zone])
+        recursive = RecursiveResolver(self.sim, self.dns_host)
+        recursive.add_authority("google.com", "172.217.194.53")
+        self.resolver = StubResolver(self.sim, self.client, upstream="59.66.1.53")
+
+        self.server = WebServer(self.sim, self.origin)
+        self.page = google_scholar_home()
+        self.server.add_page(self.page)
+
+        self.connector = DirectConnector(
+            self.sim, self.client.transport, self.resolver)
+        self.browser = Browser(self.sim, self.connector)
+
+    def load_once(self):
+        return self.sim.run(until=self.sim.process(self.browser.load(self.page)))
+
+
+def test_first_load_succeeds_and_counts_objects():
+    world = World()
+    result = world.load_once()
+    assert result.succeeded, result.error
+    assert result.first_visit
+    # redirect + document + 3 subresources + 2 beacons (account
+    # recording is a dedicated side connection, counted separately).
+    assert result.objects_fetched == 7
+    assert result.plt > 0
+
+
+def test_account_recorded_only_on_first_visit():
+    world = World()
+    world.load_once()
+    assert len(world.server.accounts_recorded) == 1
+    world.load_once()
+    assert len(world.server.accounts_recorded) == 1
+
+
+def test_subsequent_load_is_faster_and_lighter():
+    world = World()
+    first = world.load_once()
+    world.sim.run(until=world.sim.now + 60.0)
+    second = world.load_once()
+    assert not second.first_visit
+    assert second.plt < first.plt
+    assert second.app_bytes < first.app_bytes
+    # Cached subresources are skipped: the document plus the two
+    # per-view logging beacons are re-fetched.
+    assert second.objects_fetched == 3
+
+
+def test_http_to_https_redirect_on_first_visit():
+    world = World()
+    capture = PacketCapture(world.sim).attach(
+        world.net.link_between("client", "campus"))
+    world.load_once()
+    # Port 80 connection (TCP 2) plus TLS connections.
+    ports = set()
+    for flow in capture.tcp_connections():
+        if flow[0] == "tcp":
+            ports.add(flow[2])
+            ports.add(flow[4])
+    assert 80 in ports and 443 in ports
+
+
+def test_connection_pool_is_bounded():
+    world = World()
+    result = world.load_once()
+    # 1 plain + at most 6 TLS pooled + 1 account recording.
+    assert result.connections_opened <= 8
+
+
+def test_clear_caches_restores_first_visit_behaviour():
+    world = World()
+    world.load_once()
+    world.browser.clear_caches()
+    result = world.load_once()
+    assert result.first_visit
+    assert len(world.server.accounts_recorded) == 2
+
+
+def test_first_load_wire_bytes_near_paper_baseline():
+    """The paper's Figure 6a: a direct Scholar visit moves ~19 KB."""
+    world = World()
+    capture = PacketCapture(world.sim).attach(
+        world.net.link_between("client", "campus"))
+    result = world.load_once()
+    assert result.succeeded
+    wire_kb = capture.bytes_total() / 1000
+    assert 15.0 <= wire_kb <= 31.0, f"wire bytes {wire_kb:.1f} KB off baseline"
+
+
+def test_plt_scales_with_rtt():
+    slow = World(rtt_one_way=ms(180))
+    fast = World(rtt_one_way=ms(40))
+    assert fast.load_once().plt < slow.load_once().plt
+
+
+def test_missing_page_is_a_404_not_a_crash():
+    world = World()
+    page = plain_site_page("scholar.google.com")
+    page.path = "/definitely-missing"
+
+    result = world.sim.run(until=world.sim.process(world.browser.load(page)))
+    # 404 still completes the load; the document simply isn't cacheable.
+    assert result.succeeded

@@ -1,0 +1,63 @@
+"""Unit tests for HTTP messages, pages, and server responses."""
+
+import pytest
+
+from repro.http import (
+    HttpRequest,
+    HttpResponse,
+    REQUEST_SIZE,
+    RESPONSE_HEADER_SIZE,
+    google_scholar_home,
+    google_scholar_results,
+    parse_url,
+    plain_site_page,
+)
+
+
+def test_parse_url_variants():
+    assert parse_url("https://scholar.google.com/") == (
+        "https", "scholar.google.com", "/")
+    assert parse_url("http://a.b/c/d?q=1") == ("http", "a.b", "/c/d?q=1")
+    assert parse_url("no-scheme.example") == ("https", "no-scheme.example", "/")
+    assert parse_url("https://bare.host") == ("https", "bare.host", "/")
+
+
+def test_request_url_and_size():
+    request = HttpRequest("scholar.google.com", "/scholar?q=x", scheme="https")
+    assert request.url == "https://scholar.google.com/scholar?q=x"
+    assert request.size() == REQUEST_SIZE
+
+
+def test_response_size_includes_headers():
+    response = HttpResponse(status=200, path="/", body_size=5000)
+    assert response.size() == RESPONSE_HEADER_SIZE + 5000
+
+
+def test_scholar_home_shape():
+    page = google_scholar_home()
+    assert page.host == "scholar.google.com"
+    assert page.records_account
+    assert not page.document_cacheable
+    beacons = [o for o in page.objects if not o.cacheable]
+    static = [o for o in page.objects if o.cacheable]
+    assert len(beacons) == 2      # per-view logging beacons
+    assert len(static) == 3       # css/js/logo
+    # Calibration anchor: total content in the ~15 KB band so a full
+    # visit moves roughly the paper's 19 KB on the wire.
+    assert 12_000 < page.total_bytes() < 18_000
+
+
+def test_results_page_is_heavier_document():
+    results = google_scholar_results()
+    home = google_scholar_home()
+    assert results.document_size > 5 * home.document_size
+
+
+def test_plain_site_page_custom_host():
+    page = plain_site_page("www.custom.example")
+    assert page.host == "www.custom.example"
+    assert not page.records_account
+
+
+def test_page_url():
+    assert google_scholar_home().url == "https://scholar.google.com/"

@@ -1,0 +1,116 @@
+"""Tests for the shared middleware plumbing (relay framing, channels)."""
+
+import pytest
+
+from repro.errors import MiddlewareError
+from repro.http import HttpRequest, HttpResponse
+from repro.middleware import (
+    estimate_meta_length,
+    unwrap_forward,
+    wrap_forward,
+)
+from repro.middleware.base import ChannelStream, RelayedChannel
+from repro.net import Network, OPAQUE_STREAM
+from repro.sim import Simulator
+from repro.transport import install_transport
+from repro.units import Mbps, ms
+
+
+def test_forward_framing_roundtrip():
+    frame = wrap_forward(1234, {"k": "v"})
+    length, meta = unwrap_forward(frame)
+    assert length == 1234 and meta == {"k": "v"}
+
+
+def test_unwrap_rejects_garbage():
+    with pytest.raises(MiddlewareError):
+        unwrap_forward(("not", "a", "frame", "at-all"))
+    with pytest.raises(MiddlewareError):
+        unwrap_forward("junk")
+
+
+def test_estimate_meta_length_for_http_and_tls():
+    request = HttpRequest("scholar.google.com", "/")
+    assert estimate_meta_length(request) == request.size()
+    response = HttpResponse(200, "/", 4800)
+    assert estimate_meta_length(response) == response.size()
+    # TLS handshake metas map onto the transport's constants.
+    from repro.transport import tls
+    assert estimate_meta_length(("tls", "client-hello", None, False)) == \
+        tls.CLIENT_HELLO
+    assert estimate_meta_length(("tls", "server-hello")) == \
+        tls.SERVER_HELLO_WITH_CERT
+    # TLS-app wrapping adds record overhead.
+    assert estimate_meta_length(("tls-app", response)) == \
+        response.size() + tls.RECORD_OVERHEAD
+    # Unknown metas get a conservative default, not a crash.
+    assert estimate_meta_length(object()) == 600
+
+
+def relayed_pair():
+    """A RelayedChannel over a live TcpConnection pair."""
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_host("a", address="10.0.0.1")
+    b = net.add_host("b", address="10.0.0.2")
+    net.connect(a, b, latency=ms(5), bandwidth=Mbps(100))
+    net.build_routes()
+    ta, tb = install_transport(sim, a), install_transport(sim, b)
+    server_conns = []
+    tb.listen_tcp(9, lambda conn: server_conns.append(conn))
+    return sim, ta, server_conns
+
+
+def test_relayed_channel_wraps_and_unwraps():
+    sim, ta, server_conns = relayed_pair()
+
+    def body(sim):
+        conn = yield ta.connect_tcp("10.0.0.2", 9)
+        channel = RelayedChannel(sim, conn, overhead=16,
+                                 features=OPAQUE_STREAM)
+        channel.send_message(100, meta="hello")
+        # (the server's accept fires one half-RTT after the client's.)
+        yield sim.timeout(0.05)
+        # The server sees the framed version...
+        framed = yield server_conns[0].recv_message()
+        assert unwrap_forward(framed) == (100, "hello")
+        # ...and replies in kind; the channel unwraps for the app.
+        server_conns[0].send_message(50, meta=wrap_forward(50, "world"))
+        reply = yield channel.recv_message()
+        return reply
+
+    assert sim.run(until=sim.process(body(sim))) == "world"
+
+
+def test_relayed_channel_drops_junk_frames():
+    sim, ta, server_conns = relayed_pair()
+
+    def body(sim):
+        conn = yield ta.connect_tcp("10.0.0.2", 9)
+        channel = RelayedChannel(sim, conn, overhead=0, features=None)
+        channel.send_message(10, meta="x")  # starts the pump
+        yield sim.timeout(0.05)
+        server_conns[0].send_message(10, meta="unframed-junk")
+        server_conns[0].send_message(20, meta=wrap_forward(20, "good"))
+        reply = yield channel.recv_message()
+        return reply
+
+    assert sim.run(until=sim.process(body(sim))) == "good"
+
+
+def test_channel_stream_adapts_channel():
+    sim, ta, server_conns = relayed_pair()
+
+    def body(sim):
+        conn = yield ta.connect_tcp("10.0.0.2", 9)
+        channel = RelayedChannel(sim, conn, overhead=0, features=None)
+        stream = ChannelStream(channel)
+        assert stream.alive
+        stream.send(64, meta="ping")
+        yield sim.timeout(0.05)
+        framed = yield server_conns[0].recv_message()
+        assert unwrap_forward(framed)[1] == "ping"
+        stream.close()
+        return stream.alive
+
+    assert sim.run(until=sim.process(body(sim))) in (True, False)

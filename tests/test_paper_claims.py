@@ -1,0 +1,124 @@
+"""The paper's headline claims, encoded as fast integration checks.
+
+These are trimmed versions of the benchmark reproductions — enough
+samples to verify direction, not magnitude (the benches do that).
+"""
+
+import pytest
+
+from repro.core import ScholarCloud
+from repro.measure import Testbed
+from repro.measure.scenarios import (
+    run_plr_experiment,
+    run_plt_experiment,
+    run_rtt_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_plt():
+    return {name: run_plt_experiment(name, samples=4)
+            for name in ("native-vpn", "tor", "shadowsocks", "scholarcloud")}
+
+
+def test_claim_scholar_is_collateral_damage():
+    """§1: Google Scholar is blocked only because it lives under
+    google.com — unblocking the domain restores access with no other
+    change."""
+    testbed = Testbed()
+    blocked = testbed.run_process(testbed.browser().load(testbed.scholar_page))
+    assert not blocked.succeeded
+
+    relaxed = Testbed()
+    relaxed.policy.unblock_domain("google.com")
+    restored = relaxed.run_process(relaxed.browser().load(relaxed.scholar_page))
+    assert restored.succeeded
+
+
+def test_claim_bilateral_inconsistency():
+    """§2: the GFW blocks Scholar even though the regulators consider
+    it legal — nothing in the policy stack lists it as illegal."""
+    from repro.policy import RegulatoryEnvironment, ServiceListing
+    testbed = Testbed()
+    # Technical side: blocked.
+    assert testbed.policy.domain_blocked("scholar.google.com")
+    # Regulatory side: an investigation of a *registered* service
+    # carrying Scholar traffic finds nothing actionable.
+    environment = RegulatoryEnvironment(testbed.sim, review_days=1,
+                                        investigation_days=1)
+    system = ScholarCloud(testbed)
+    testbed.run_process(system.deploy())
+    system.register_icp(environment.registry)
+    environment.security.observe_service(ServiceListing(
+        "ScholarCloud", "scholar.thucloud.com", "proxy"))
+    cases = environment.security.sweep()
+    testbed.sim.run(until=testbed.sim.now + 10 * 86400)
+    assert cases[0].outcome == "no-action"
+
+
+def test_claim_tor_first_time_plt_ratio(quick_plt):
+    """§4.3: Tor's first-time PLT is ~5.4x its normal PLT."""
+    tor = quick_plt["tor"]
+    ratio = tor.first_time / tor.subsequent.mean
+    assert ratio > 3.0
+
+
+def test_claim_shadowsocks_slowest_subsequent(quick_plt):
+    assert quick_plt["shadowsocks"].subsequent.mean == max(
+        r.subsequent.mean for r in quick_plt.values())
+
+
+def test_claim_scholarcloud_matches_vpn(quick_plt):
+    sc = quick_plt["scholarcloud"].subsequent.mean
+    vpn = quick_plt["native-vpn"].subsequent.mean
+    assert sc / vpn < 1.25
+
+
+def test_claim_tor_censored_shadowsocks_vulnerable_vpn_robust():
+    """§4.3's PLR ordering: Tor >> Shadowsocks > VPN-class."""
+    tor = run_plr_experiment("tor", loads=8)
+    ss = run_plr_experiment("shadowsocks", loads=12)
+    vpn = run_plr_experiment("native-vpn", loads=8)
+    assert tor.rate > 0.015
+    assert tor.rate > ss.rate > 0
+    assert vpn.rate < 0.008
+
+
+def test_claim_rtt_correlates_with_first_time_plt(quick_plt):
+    """§4.3: RTT has stronger correlation with first-time PLT."""
+    tor_rtt = run_rtt_experiment("tor", probes=5).mean
+    vpn_rtt = run_rtt_experiment("native-vpn", probes=5).mean
+    assert tor_rtt > vpn_rtt
+    assert quick_plt["tor"].first_time > quick_plt["native-vpn"].first_time
+
+
+def test_claim_users_need_zero_software():
+    """§3: ScholarCloud requires no client software — the browser plus
+    one PAC route is the entire client footprint."""
+    testbed = Testbed()
+    system = ScholarCloud(testbed)
+    testbed.run_process(system.deploy())
+    assert not system.requires_client_software
+    browser = testbed.browser()          # a plain browser...
+    system.apply_pac(browser)            # ...plus one setting
+    result = testbed.run_process(browser.load(testbed.scholar_page))
+    assert result.succeeded
+
+
+def test_claim_whitelist_visibility_for_regulators():
+    """§3: agencies can inspect the whitelist and demand removals that
+    take effect immediately."""
+    testbed = Testbed()
+    system = ScholarCloud(testbed)
+    testbed.run_process(system.deploy())
+    assert "scholar.google.com" in system.whitelist.domains()
+    system.whitelist.remove("scholar.google.com", now=testbed.sim.now)
+
+    def attempt(sim):
+        connector = system.connector()
+        stream = yield from connector.open("scholar.google.com", 443, True)
+        return stream
+
+    from repro.errors import MiddlewareError
+    with pytest.raises(MiddlewareError):
+        testbed.run_process(attempt(testbed.sim))

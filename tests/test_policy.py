@@ -1,0 +1,136 @@
+"""Tests for the regulation model: registry, agencies, investigations."""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.policy import (
+    APPROVED,
+    IcpRegistry,
+    RegulatoryEnvironment,
+    REVOKED,
+    ServiceListing,
+    SUBMITTED,
+    UNDER_REVIEW,
+)
+from repro.sim import Simulator
+from repro.units import DAY
+
+
+def full_documents():
+    from repro.policy import REQUIRED_DOCUMENTS
+    return REQUIRED_DOCUMENTS
+
+
+def submit(registry, domain="scholar.thucloud.com", **overrides):
+    kwargs = dict(
+        company="ScholarCloud Co.",
+        service_name="ScholarCloud",
+        service_type="whitelisted web proxy",
+        domains=(domain,),
+        whitelist=("scholar.google.com",),
+    )
+    kwargs.update(overrides)
+    return registry.submit(**kwargs)
+
+
+def test_registration_lifecycle():
+    sim = Simulator()
+    registry = IcpRegistry(sim, review_days=30)
+    registration = submit(registry)
+    assert registration.status == UNDER_REVIEW
+    assert not registry.is_registered("scholar.thucloud.com")
+    sim.run(until=31 * DAY)
+    assert registration.status == APPROVED
+    assert registry.is_registered("scholar.thucloud.com")
+    assert registration.number.startswith("ICP-")
+
+
+def test_incomplete_documents_rejected():
+    registry = IcpRegistry(Simulator())
+    with pytest.raises(RegistrationError):
+        submit(registry, documents={"user-guide"})
+
+
+def test_duplicate_domain_rejected():
+    sim = Simulator()
+    registry = IcpRegistry(sim)
+    submit(registry)
+    with pytest.raises(RegistrationError):
+        submit(registry)
+
+
+def test_no_domains_rejected():
+    registry = IcpRegistry(Simulator())
+    with pytest.raises(RegistrationError):
+        submit(registry, domains=())
+
+
+def test_revocation():
+    sim = Simulator()
+    registry = IcpRegistry(sim, review_days=1)
+    registration = submit(registry)
+    sim.run(until=2 * DAY)
+    registry.revoke(registration.number, "illegal content")
+    assert registration.status == REVOKED
+    assert not registry.is_registered("scholar.thucloud.com")
+    assert any("revoked" in event for _t, event in registration.history)
+
+
+def test_lookup_unknown_number():
+    registry = IcpRegistry(Simulator())
+    with pytest.raises(RegistrationError):
+        registry.lookup("ICP-0")
+
+
+# -- investigations -----------------------------------------------------------------
+
+def test_registered_service_survives_investigation():
+    sim = Simulator()
+    environment = RegulatoryEnvironment(sim, review_days=10,
+                                        investigation_days=30)
+    environment.legalize(
+        company="ScholarCloud Co.", service_name="ScholarCloud",
+        service_type="whitelisted proxy", domains=("scholar.thucloud.com",),
+        whitelist=("scholar.google.com",))
+    shutdown_calls = []
+    listing = ServiceListing("ScholarCloud", "scholar.thucloud.com", "proxy",
+                             shutdown=lambda: shutdown_calls.append(1))
+    environment.security.observe_service(listing)
+    cases = environment.security.sweep()
+    sim.run(until=120 * DAY)
+    assert cases[0].outcome == "no-action"
+    assert shutdown_calls == []
+
+
+def test_unregistered_proxy_gets_shut_down():
+    sim = Simulator()
+    environment = RegulatoryEnvironment(sim, investigation_days=30)
+    shutdown_calls = []
+    listing = ServiceListing("GreyProxy", "grey-proxy.example", "proxy",
+                             shutdown=lambda: shutdown_calls.append(1))
+    environment.security.observe_service(listing)
+    environment.security.sweep()
+    sim.run(until=120 * DAY)
+    assert environment.security.shutdowns == ["grey-proxy.example"]
+    assert shutdown_calls == [1]
+
+
+def test_plain_websites_are_not_swept():
+    sim = Simulator()
+    environment = RegulatoryEnvironment(sim)
+    environment.security.observe_service(
+        ServiceListing("Blog", "blog.example", "web"))
+    assert environment.security.sweep() == []
+
+
+def test_investigations_take_time():
+    """Regulation is slower than packet filtering — the paper's point."""
+    sim = Simulator()
+    environment = RegulatoryEnvironment(sim, investigation_days=45)
+    listing = ServiceListing("GreyProxy", "grey.example", "proxy")
+    case = environment.security.open_investigation(listing)
+    sim.run(until=10 * DAY)
+    assert case.outcome is None  # still collecting evidence
+    sim.run(until=200 * DAY)
+    assert case.outcome == "shutdown"
+    assert case.closed_at - case.opened_at > 20 * DAY

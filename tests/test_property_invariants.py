@@ -1,0 +1,148 @@
+"""Hypothesis property tests on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import AES, CfbCipher, CtrCipher, RC4, shannon_entropy
+from repro.gfw.flow_table import canonical_flow
+from repro.measure import percentile, summarize
+from repro.net import IPv4Address, Prefix
+from repro.sim import ProcessorSharingServer, Simulator, Store
+
+
+# -- crypto round trips ----------------------------------------------------------
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+@settings(max_examples=30)
+def test_aes_block_roundtrip(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(st.binary(max_size=512), st.binary(min_size=32, max_size=32),
+       st.binary(min_size=16, max_size=16))
+@settings(max_examples=30)
+def test_cfb_roundtrip_any_length(data, key, iv):
+    assert CfbCipher(key, iv).decrypt(CfbCipher(key, iv).encrypt(data)) == data
+
+
+@given(st.binary(max_size=512), st.binary(min_size=16, max_size=16),
+       st.binary(min_size=16, max_size=16))
+@settings(max_examples=30)
+def test_ctr_is_an_involution(data, key, nonce):
+    once = CtrCipher(key, nonce).process(data)
+    assert CtrCipher(key, nonce).process(once) == data
+
+
+@given(st.binary(max_size=512), st.binary(min_size=1, max_size=64))
+@settings(max_examples=30)
+def test_rc4_roundtrip(data, key):
+    assert RC4(key).process(RC4(key).process(data)) == data
+
+
+@given(st.binary(min_size=1, max_size=4096))
+@settings(max_examples=50)
+def test_entropy_bounds_hold(data):
+    entropy = shannon_entropy(data)
+    assert 0.0 <= entropy <= 8.0
+
+
+# -- addresses --------------------------------------------------------------------
+
+@given(st.integers(0, 2**32 - 1))
+def test_address_int_str_roundtrip(value):
+    address = IPv4Address(value)
+    assert int(IPv4Address(str(address))) == value
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 32))
+def test_prefix_contains_its_network(value, length):
+    prefix = Prefix(f"{IPv4Address(value)}/{length}")
+    assert prefix.network in prefix
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(1, 31))
+def test_prefix_membership_is_mask_consistent(value, length):
+    prefix = Prefix(f"{IPv4Address(value)}/{length}")
+    inside = IPv4Address(int(prefix.network) | (1 << (31 - length) >> 5))
+    # Any address sharing the top `length` bits is inside.
+    mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+    assert (int(inside) & mask) == int(prefix.network)
+    assert inside in prefix
+
+
+# -- flow table ----------------------------------------------------------------------
+
+@given(st.tuples(st.just("tcp"),
+                 st.ip_addresses(v=4).map(str), st.integers(1, 65535),
+                 st.ip_addresses(v=4).map(str), st.integers(1, 65535)))
+def test_canonical_flow_symmetric(flow):
+    proto, src, sport, dst, dport = flow
+    reverse = (proto, dst, dport, src, sport)
+    assert canonical_flow(flow) == canonical_flow(reverse)
+
+
+# -- statistics -------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=200))
+def test_summary_invariants(values):
+    summary = summarize(values)
+    assert summary.minimum <= summary.p50 <= summary.maximum
+    assert summary.minimum <= summary.mean <= summary.maximum
+    assert summary.count == len(values)
+    assert summary.stdev >= 0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=100),
+       st.floats(min_value=0, max_value=1))
+def test_percentile_is_bounded(values, fraction):
+    ordered = sorted(values)
+    result = percentile(ordered, fraction)
+    assert ordered[0] <= result <= ordered[-1]
+
+
+# -- processor sharing ----------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1,
+                max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_ps_conservation(demands):
+    """Total busy time equals total demand / capacity (work conservation),
+    and every job finishes."""
+    sim = Simulator()
+    cpu = ProcessorSharingServer(sim, capacity=2.0)
+    finished = []
+
+    def job(sim, demand):
+        yield cpu.submit(demand)
+        finished.append(sim.now)
+
+    for demand in demands:
+        sim.process(job(sim, demand))
+    sim.run()
+    assert len(finished) == len(demands)
+    expected_busy = sum(demands) / 2.0
+    assert abs(cpu.utilization(horizon=max(finished)) * max(finished)
+               - expected_busy) < 1e-6
+    # No job can finish before its solo service time.
+    assert min(finished) >= min(demands) / 2.0 - 1e-9
+
+
+@given(st.lists(st.integers(0, 1000), max_size=50))
+@settings(max_examples=30, deadline=None)
+def test_store_fifo_order(items):
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def consumer(sim):
+        for _ in range(len(items)):
+            value = yield store.get()
+            received.append(value)
+
+    process = sim.process(consumer(sim))
+    for item in items:
+        store.put(item)
+    sim.run()
+    assert received == list(items)

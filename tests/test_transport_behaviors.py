@@ -1,0 +1,165 @@
+"""Deeper TCP behaviour tests: fast retransmit, delayed ACKs,
+duplicate handshakes, and capture analysis."""
+
+import pytest
+
+from repro.net import Network, PacketCapture, Verdict
+from repro.net.middlebox import Middlebox
+from repro.sim import Simulator
+from repro.transport import install_transport
+from repro.units import Mbps, ms
+
+
+def world(loss=0.0, latency=ms(20)):
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_host("a", address="10.0.0.1")
+    b = net.add_host("b", address="10.0.0.2")
+    link = net.connect(a, b, latency=latency, bandwidth=Mbps(100), loss=loss)
+    net.build_routes()
+    return sim, net, install_transport(sim, a), install_transport(sim, b), link
+
+
+def sink_acceptor(sim, got):
+    def acceptor(conn):
+        def server(sim, conn):
+            while True:
+                meta = yield conn.recv_message()
+                if meta is None:
+                    return
+                got.append((sim.now, meta))
+        sim.process(server(sim, conn))
+    return acceptor
+
+
+class DropNth(Middlebox):
+    """Drop exactly the nth data segment in one direction."""
+
+    name = "drop-nth"
+
+    def __init__(self, n, sender):
+        self.n = n
+        self.sender = sender
+        self.count = 0
+
+    def process(self, packet, direction, link):
+        if (packet.protocol == "tcp" and direction.sender == self.sender
+                and getattr(packet.payload, "length", 0) > 0):
+            self.count += 1
+            if self.count == self.n:
+                return Verdict.DROP
+        return Verdict.PASS
+
+
+def test_fast_retransmit_recovers_quickly():
+    """A single mid-window loss recovers via dup-ACKs, far faster than
+    a full RTO (1 s)."""
+    sim, _net, ta, tb, link = world()
+    link.add_middlebox(DropNth(2, sender="a"))
+    got = []
+    tb.listen_tcp(80, sink_acceptor(sim, got))
+
+    def client(sim):
+        conn = yield ta.connect_tcp("10.0.0.2", 80)
+        conn.send_message(14_600, meta="windowful")  # 10 segments
+        yield sim.timeout(5.0)
+        return conn.retransmissions
+
+    retransmissions = sim.run(until=sim.process(client(sim)))
+    assert got and got[0][1] == "windowful"
+    assert retransmissions >= 1
+    # Delivered well before an RTO-based recovery would allow.
+    assert got[0][0] < 0.9
+
+
+def test_single_segment_loss_needs_rto():
+    """A lost lone segment has no dup-ACK signal: recovery waits out a
+    full retransmission timeout (the MIN_RTO floor after the handshake
+    RTT sample), instead of the ~60 ms a clean delivery takes."""
+    sim, _net, ta, tb, link = world()
+    link.add_middlebox(DropNth(1, sender="a"))
+    got = []
+    tb.listen_tcp(80, sink_acceptor(sim, got))
+
+    def client(sim):
+        conn = yield ta.connect_tcp("10.0.0.2", 80)
+        conn.send_message(400, meta="lonely")
+        yield sim.timeout(5.0)
+
+    sim.run(until=sim.process(client(sim)))
+    assert got and got[0][1] == "lonely"
+    from repro.transport.tcp import MIN_RTO
+    assert got[0][0] > MIN_RTO  # paid a timeout, not a clean delivery
+
+
+def test_delayed_acks_halve_pure_ack_traffic():
+    """Bulk transfer: pure ACKs ≈ half the data segments, not 1:1."""
+    sim, net, ta, tb, _link = world()
+    capture = PacketCapture(sim).attach(net.link_between("a", "b"))
+    got = []
+    tb.listen_tcp(80, sink_acceptor(sim, got))
+
+    def client(sim):
+        conn = yield ta.connect_tcp("10.0.0.2", 80)
+        conn.send_message(100_000, meta="bulk")
+        yield sim.timeout(10.0)
+
+    sim.run(until=sim.process(client(sim)))
+    data_segments = sum(
+        1 for p in capture.packets
+        if p.protocol == "tcp" and p.size > 60 and p.direction == "a->b")
+    pure_acks = sum(
+        1 for p in capture.packets
+        if p.protocol == "tcp" and p.size <= 44 and p.direction == "b->a")
+    assert got
+    assert pure_acks < data_segments * 0.75
+
+
+def test_duplicate_syn_is_answered_not_duplicated():
+    """A retransmitted SYN must re-elicit SYN-ACK without confusing
+    the server connection."""
+    sim, _net, ta, tb, link = world(latency=ms(100))
+
+    class DropFirstSynAck(Middlebox):
+        name = "drop-synack"
+
+        def __init__(self):
+            self.dropped = False
+
+        def process(self, packet, direction, link):
+            flags = getattr(packet.payload, "flags", frozenset())
+            if (not self.dropped and "SYN" in flags and "ACK" in flags):
+                self.dropped = True
+                return Verdict.DROP
+            return Verdict.PASS
+
+    link.add_middlebox(DropFirstSynAck())
+    got = []
+    tb.listen_tcp(80, sink_acceptor(sim, got))
+
+    def client(sim):
+        conn = yield ta.connect_tcp("10.0.0.2", 80, timeout=20.0)
+        conn.send_message(100, meta="after-retry")
+        yield sim.timeout(2.0)
+        return conn.state
+
+    state = sim.run(until=sim.process(client(sim)))
+    assert state == "ESTABLISHED"
+    assert [meta for _t, meta in got] == ["after-retry"]
+
+
+def test_capture_flow_inventory_merges_directions():
+    sim, net, ta, tb, _link = world()
+    capture = PacketCapture(sim).attach(net.link_between("a", "b"))
+    got = []
+    tb.listen_tcp(80, sink_acceptor(sim, got))
+
+    def client(sim):
+        conn = yield ta.connect_tcp("10.0.0.2", 80)
+        conn.send_message(500, meta="x")
+        yield sim.timeout(1.0)
+
+    sim.run(until=sim.process(client(sim)))
+    flows = capture.tcp_connections()
+    # One logical connection, despite packets in both directions.
+    assert len(flows) == 1

@@ -1,0 +1,300 @@
+"""Tests for the TCP model: handshake, transfer, loss recovery, reset."""
+
+import pytest
+
+from repro.errors import ConnectionReset, ConnectionTimeout, TransportError
+from repro.net import Network, Verdict
+from repro.net.middlebox import Middlebox
+from repro.sim import Simulator
+from repro.transport import install_transport
+from repro.units import Mbps, ms
+
+
+def two_hosts(loss=0.0, latency=ms(50)):
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_host("a", address="10.0.0.1")
+    b = net.add_host("b", address="203.0.113.1")
+    link = net.connect(a, b, latency=latency, bandwidth=Mbps(100), loss=loss)
+    net.build_routes()
+    ta = install_transport(sim, a)
+    tb = install_transport(sim, b)
+    return sim, net, ta, tb, link
+
+
+def echo_acceptor(sim):
+    """Accept connections and echo back every message meta."""
+    def acceptor(conn):
+        def server(sim, conn):
+            while True:
+                meta = yield conn.recv_message()
+                if meta is None:
+                    return
+                conn.send_message(100, meta=("echo", meta))
+        sim.process(server(sim, conn), name="echo-server")
+    return acceptor
+
+
+def test_connect_takes_one_rtt():
+    sim, _net, ta, tb, _link = two_hosts()
+    tb.listen_tcp(80, lambda conn: None)
+
+    def client(sim):
+        conn = yield ta.connect_tcp("203.0.113.1", 80)
+        return (sim.now, conn.state)
+
+    when, state = sim.run(until=sim.process(client(sim)))
+    assert state == "ESTABLISHED"
+    assert when == pytest.approx(2 * ms(50), rel=0.01)
+
+
+def test_connect_refused_when_no_listener():
+    sim, _net, ta, _tb, _link = two_hosts()
+
+    def client(sim):
+        yield ta.connect_tcp("203.0.113.1", 81)
+
+    with pytest.raises(ConnectionReset):
+        sim.run(until=sim.process(client(sim)))
+
+
+def test_connect_timeout_on_blackhole():
+    sim, _net, ta, _tb, link = two_hosts()
+
+    class Blackhole(Middlebox):
+        name = "blackhole"
+
+        def process(self, packet, direction, link):
+            return Verdict.DROP
+
+    link.add_middlebox(Blackhole())
+
+    def client(sim):
+        yield ta.connect_tcp("203.0.113.1", 80, timeout=5.0)
+
+    with pytest.raises(ConnectionTimeout):
+        sim.run(until=sim.process(client(sim)))
+
+
+def test_message_roundtrip():
+    sim, _net, ta, tb, _link = two_hosts()
+    tb.listen_tcp(80, echo_acceptor(sim))
+
+    def client(sim):
+        conn = yield ta.connect_tcp("203.0.113.1", 80)
+        conn.send_message(500, meta="hello")
+        reply = yield conn.recv_message()
+        return reply
+
+    assert sim.run(until=sim.process(client(sim))) == ("echo", "hello")
+
+
+def test_large_transfer_is_complete_and_ordered():
+    sim, _net, ta, tb, _link = two_hosts()
+    got = []
+
+    def acceptor(conn):
+        def server(sim, conn):
+            while True:
+                meta = yield conn.recv_message()
+                if meta is None:
+                    return
+                got.append(meta)
+        sim.process(server(sim, conn))
+    tb.listen_tcp(80, acceptor)
+
+    def client(sim):
+        conn = yield ta.connect_tcp("203.0.113.1", 80)
+        for i in range(10):
+            conn.send_message(50_000, meta=i)
+        # Wait for everything to flush.
+        yield sim.timeout(30.0)
+
+    sim.run(until=sim.process(client(sim)))
+    assert got == list(range(10))
+
+
+def test_transfer_survives_heavy_loss():
+    """20% random loss: the transfer completes via retransmission."""
+    sim, _net, ta, tb, _link = two_hosts(loss=0.20)
+    got = []
+
+    def acceptor(conn):
+        def server(sim, conn):
+            meta = yield conn.recv_message()
+            got.append((sim.now, meta))
+        sim.process(server(sim, conn))
+    tb.listen_tcp(80, acceptor)
+
+    def client(sim):
+        conn = yield ta.connect_tcp("203.0.113.1", 80)
+        conn.send_message(100_000, meta="bulk")
+        yield sim.timeout(300.0)
+        return conn.retransmissions
+
+    retransmissions = sim.run(until=sim.process(client(sim)))
+    assert got and got[0][1] == "bulk"
+    assert retransmissions > 0
+
+
+def test_loss_inflates_completion_time():
+    """The same transfer takes longer on a lossy path — the PLT mechanism."""
+    def completion_time(loss):
+        sim, _net, ta, tb, _link = two_hosts(loss=loss)
+        done = []
+
+        def acceptor(conn):
+            def server(sim, conn):
+                yield conn.recv_message()
+                done.append(sim.now)
+            sim.process(server(sim, conn))
+        tb.listen_tcp(80, acceptor)
+
+        def client(sim):
+            conn = yield ta.connect_tcp("203.0.113.1", 80)
+            conn.send_message(200_000, meta="page")
+            yield sim.timeout(300.0)
+
+        sim.run(until=sim.process(client(sim)))
+        assert done
+        return done[0]
+
+    assert completion_time(0.0) < completion_time(0.08)
+
+
+def test_rst_injection_resets_connection():
+    """A forged on-path RST (the GFW's signature move) kills the flow."""
+    from repro.net import Packet
+    from repro.transport.tcp import Segment, ACK_SIZE
+
+    sim, net, ta, tb, link = two_hosts()
+    tb.listen_tcp(80, echo_acceptor(sim))
+
+    class RstInjector(Middlebox):
+        name = "rst-injector"
+
+        def __init__(self):
+            self.armed = False
+
+        def process(self, packet, direction, link):
+            if self.armed and packet.protocol == "tcp" and packet.payload.length > 0:
+                seg = packet.payload
+                rst = Segment(seg.dport, seg.sport, seq=0, ack=0,
+                              flags=frozenset({"RST"}))
+                forged = Packet(src=packet.dst, dst=packet.src, protocol="tcp",
+                                payload=rst, size=ACK_SIZE, flow=packet.flow)
+                link.inject(forged, toward=net.node("a"))
+                self.armed = False
+            return Verdict.PASS
+
+    injector = RstInjector()
+    link.add_middlebox(injector)
+
+    def client(sim):
+        conn = yield ta.connect_tcp("203.0.113.1", 80)
+        injector.armed = True
+        conn.send_message(500, meta="probe-me")
+        yield conn.recv_message()
+
+    with pytest.raises(ConnectionReset):
+        sim.run(until=sim.process(client(sim)))
+
+
+def test_send_on_reset_connection_raises():
+    sim, _net, ta, tb, _link = two_hosts()
+    tb.listen_tcp(80, echo_acceptor(sim))
+
+    def client(sim):
+        conn = yield ta.connect_tcp("203.0.113.1", 80)
+        conn._enter_reset(local=False)
+        conn.send_message(10, meta="x")
+
+    with pytest.raises(ConnectionReset):
+        sim.run(until=sim.process(client(sim)))
+
+
+def test_invalid_message_length_rejected():
+    sim, _net, ta, tb, _link = two_hosts()
+    tb.listen_tcp(80, echo_acceptor(sim))
+
+    def client(sim):
+        conn = yield ta.connect_tcp("203.0.113.1", 80)
+        conn.send_message(0, meta="empty")
+
+    with pytest.raises(TransportError):
+        sim.run(until=sim.process(client(sim)))
+
+
+def test_close_delivers_eof():
+    sim, _net, ta, tb, _link = two_hosts()
+    eof_seen = []
+
+    def acceptor(conn):
+        def server(sim, conn):
+            meta = yield conn.recv_message()
+            assert meta == "only"
+            second = yield conn.recv_message()
+            eof_seen.append(second)
+        sim.process(server(sim, conn))
+    tb.listen_tcp(80, acceptor)
+
+    def client(sim):
+        conn = yield ta.connect_tcp("203.0.113.1", 80)
+        conn.send_message(100, meta="only")
+        yield sim.timeout(1.0)
+        conn.close()
+        yield sim.timeout(1.0)
+
+    sim.run(until=sim.process(client(sim)))
+    assert eof_seen == [None]
+
+
+def test_byte_accounting():
+    sim, _net, ta, tb, _link = two_hosts()
+    tb.listen_tcp(80, echo_acceptor(sim))
+
+    def client(sim):
+        conn = yield ta.connect_tcp("203.0.113.1", 80)
+        conn.send_message(5000, meta="m")
+        yield conn.recv_message()
+        return conn
+
+    conn = sim.run(until=sim.process(client(sim)))
+    # At least payload + headers went out; ACKs also count.
+    assert conn.bytes_sent > 5000
+    assert conn.bytes_received == 100
+
+
+def test_ping_measures_path_rtt():
+    sim, _net, ta, _tb, _link = two_hosts(latency=ms(80))
+
+    def client(sim):
+        rtt = yield ta.ping("203.0.113.1")
+        return rtt
+
+    rtt = sim.run(until=sim.process(client(sim)))
+    assert rtt == pytest.approx(2 * ms(80), rel=0.01)
+
+
+def test_udp_datagram_delivery():
+    sim, _net, ta, tb, _link = two_hosts()
+    got = []
+    tb.listen_udp(53, lambda payload, length, src, sport: got.append(
+        (payload, length, str(src))))
+    ta.send_udp("203.0.113.1", 53, payload={"q": "scholar"}, length=64)
+    sim.run()
+    assert got == [({"q": "scholar"}, 64, "10.0.0.1")]
+
+
+def test_udp_duplicate_bind_rejected():
+    sim, _net, _ta, tb, _link = two_hosts()
+    tb.listen_udp(53, lambda *a: None)
+    with pytest.raises(TransportError):
+        tb.listen_udp(53, lambda *a: None)
+
+
+def test_tcp_duplicate_listen_rejected():
+    sim, _net, _ta, tb, _link = two_hosts()
+    tb.listen_tcp(80, lambda conn: None)
+    with pytest.raises(TransportError):
+        tb.listen_tcp(80, lambda conn: None)
