@@ -1,0 +1,48 @@
+"""reprolint: static determinism & protocol-safety analysis for this repo.
+
+Run it from the repo root::
+
+    python -m repro.analysis src/repro
+
+or programmatically::
+
+    from repro.analysis import Analyzer, load_config
+    findings = Analyzer(config=load_config()).analyze_paths(["src/repro"])
+
+The rule pack enforces the invariants the reproduced figures depend on:
+determinism (all randomness via seeded ``RngRegistry`` streams, no
+wall-clock reads), sim-safety (no threads/asyncio/blocking I/O outside
+``repro.realnet``), codec hygiene (no str/bytes mixing on wire paths),
+and process correctness (generator bodies invoked, only Events yielded).
+"""
+
+from .engine import (
+    Analyzer,
+    Config,
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+    in_scope,
+    load_config,
+    module_name_for,
+    parse_config,
+    render_findings,
+)
+from .rules import RULES, default_rules
+
+__all__ = [
+    "RULES",
+    "Analyzer",
+    "Config",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "default_rules",
+    "in_scope",
+    "load_config",
+    "module_name_for",
+    "parse_config",
+    "render_findings",
+]

@@ -1,0 +1,65 @@
+"""CLI entry point: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 when clean (warnings allowed), 1 when any error-severity
+finding is unsuppressed, 2 on usage problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as t
+from pathlib import Path
+
+from .engine import Analyzer, Severity, load_config, parse_config, render_findings
+from .rules import default_rules
+
+
+def main(argv: t.Optional[t.Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: determinism & protocol-safety linter")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/repro)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as JSON")
+    parser.add_argument("--config", type=Path, default=None,
+                        help="pyproject.toml to read [tool.reprolint] from")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule pack and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.id:24} {rule.severity.value:8} {rule.description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    if not paths:
+        default = Path("src/repro")
+        if not default.is_dir():
+            print("no paths given and ./src/repro not found", file=sys.stderr)
+            return 2
+        paths = [default]
+    for path in paths:
+        if not path.exists():
+            print(f"no such path: {path}", file=sys.stderr)
+            return 2
+
+    if args.config is not None:
+        config = parse_config(args.config)
+    else:
+        config = load_config(paths[0].resolve())
+    analyzer = Analyzer(config=config)
+    findings = analyzer.analyze_paths(paths)
+    if findings:
+        print(render_findings(findings, as_json=args.as_json))
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    if not args.as_json:
+        print(f"reprolint: {len(findings)} finding(s), {len(errors)} error(s)",
+              file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,281 @@
+"""The reprolint engine: rule framework, suppressions, findings, config.
+
+The analyzer walks Python sources with :mod:`ast` and applies a pack of
+:class:`Rule` visitors to each module.  Rules are scoped by dotted
+module prefix (``repro.net`` covers ``repro.net.link``), so invariants
+that only hold inside the simulator — determinism, no blocking calls —
+are not imposed on the loopback proxies in ``repro.realnet``.
+
+Suppressions are comments:
+
+* ``# reprolint: disable=rule-id`` trailing a code line suppresses that
+  rule on that line only;
+* the same comment on a line of its own suppresses the rule for the
+  whole file;
+* ``disable=all`` suppresses every rule.
+
+Configuration is read from ``[tool.reprolint]`` in ``pyproject.toml``
+(see :func:`load_config`); everything degrades to built-in defaults
+when no config file or TOML parser is available.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import fnmatch
+import json
+import re
+import typing as t
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_SUPPRESSION = re.compile(r"#\s*reprolint:\s*disable=([\w\-, ]+)")
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; only errors fail the run."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pointing at a file:line location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> t.Dict[str, t.Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.severity.value}: [{self.rule}] {self.message}")
+
+
+@dataclass
+class Config:
+    """Resolved ``[tool.reprolint]`` settings."""
+
+    #: Rule ids to run; ``None`` means every registered rule.
+    enabled: t.Optional[t.FrozenSet[str]] = None
+    #: fnmatch patterns (posix paths) that are skipped entirely.
+    exempt_paths: t.Tuple[str, ...] = ()
+    #: Per-rule scope override: rule id -> dotted module prefixes.
+    scopes: t.Dict[str, t.Tuple[str, ...]] = field(default_factory=dict)
+    #: Per-rule exemption override: rule id -> dotted module prefixes.
+    exemptions: t.Dict[str, t.Tuple[str, ...]] = field(default_factory=dict)
+    #: Per-rule severity override: rule id -> Severity.
+    severities: t.Dict[str, Severity] = field(default_factory=dict)
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        return self.enabled is None or rule_id in self.enabled
+
+    def path_exempt(self, path: Path) -> bool:
+        posix = path.as_posix()
+        for pattern in self.exempt_paths:
+            if fnmatch.fnmatch(posix, pattern) or fnmatch.fnmatch(posix, f"*/{pattern}"):
+                return True
+            if f"/{pattern.strip('/')}/" in f"/{posix}/":
+                return True
+        return False
+
+
+def load_config(start: t.Optional[Path] = None) -> Config:
+    """Find ``pyproject.toml`` at/above ``start`` and read ``[tool.reprolint]``.
+
+    Returns default settings when no file, table, or TOML parser exists
+    (the repo targets Python 3.9+; :mod:`tomllib` arrived in 3.11).
+    """
+    here = (start or Path.cwd()).resolve()
+    candidates = [here, *here.parents] if here.is_dir() else list(here.parents)
+    for directory in candidates:
+        pyproject = directory / "pyproject.toml"
+        if pyproject.is_file():
+            return parse_config(pyproject)
+    return Config()
+
+
+def parse_config(pyproject: Path) -> Config:
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python < 3.11
+        return Config()
+    with open(pyproject, "rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("reprolint", {})
+    if not table:
+        return Config()
+    enabled = table.get("enabled")
+    return Config(
+        enabled=frozenset(enabled) if enabled is not None else None,
+        exempt_paths=tuple(table.get("exempt-paths", ())),
+        scopes={rule: tuple(prefixes)
+                for rule, prefixes in table.get("scopes", {}).items()},
+        exemptions={rule: tuple(prefixes)
+                    for rule, prefixes in table.get("exemptions", {}).items()},
+        severities={rule: Severity(value)
+                    for rule, value in table.get("severity", {}).items()},
+    )
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, anchored at the last ``repro`` path segment."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[anchor:]
+        return ".".join(parts)
+    return parts[-1] if parts else ""
+
+
+def in_scope(module: str, prefixes: t.Iterable[str]) -> bool:
+    """True when ``module`` is any of the prefixes or nested under one."""
+    for prefix in prefixes:
+        if module == prefix or module.startswith(prefix + "."):
+            return True
+    return False
+
+
+class ModuleContext:
+    """Everything a rule needs about one parsed source file."""
+
+    def __init__(self, path: str, module: str, source: str,
+                 tree: t.Optional[ast.Module] = None) -> None:
+        self.path = path
+        self.module = module
+        self.source = source
+        self.tree = tree if tree is not None else ast.parse(source, filename=path)
+        self.file_suppressions: t.Set[str] = set()
+        self.line_suppressions: t.Dict[int, t.Set[str]] = {}
+        self._parse_suppressions()
+
+    def _parse_suppressions(self) -> None:
+        for lineno, line in enumerate(self.source.splitlines(), start=1):
+            match = _SUPPRESSION.search(line)
+            if match is None:
+                continue
+            rules = {name.strip() for name in match.group(1).split(",") if name.strip()}
+            if line.strip().startswith("#"):
+                self.file_suppressions |= rules
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(rules)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        if self.file_suppressions & {rule_id, "all"}:
+            return True
+        return bool(self.line_suppressions.get(line, set()) & {rule_id, "all"})
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: one invariant, one id, one severity, one scope.
+
+    Subclasses set the class attributes and implement ``visit_*``
+    methods that call :meth:`report`.  A fresh instance is created per
+    module, so instance state is per-file.
+    """
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    #: Dotted module prefixes the rule applies to.
+    default_scope: t.Tuple[str, ...] = ("repro",)
+    #: Dotted module prefixes exempt even when inside the scope.
+    default_exempt: t.Tuple[str, ...] = ()
+
+    def __init__(self, ctx: ModuleContext, severity: t.Optional[Severity] = None) -> None:
+        self.ctx = ctx
+        self.findings: t.List[Finding] = []
+        self._severity = severity if severity is not None else self.severity
+
+    @classmethod
+    def applies_to(cls, module: str, config: Config) -> bool:
+        scope = config.scopes.get(cls.id, cls.default_scope)
+        exempt = config.exemptions.get(cls.id, cls.default_exempt)
+        return in_scope(module, scope) and not in_scope(module, exempt)
+
+    def run(self) -> t.List[Finding]:
+        self.visit(self.ctx.tree)
+        return self.findings
+
+    def report(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if self.ctx.suppressed(self.id, line):
+            return
+        self.findings.append(Finding(
+            rule=self.id, severity=self._severity, path=self.ctx.path,
+            line=line, col=getattr(node, "col_offset", 0) + 1,
+            message=message))
+
+
+class Analyzer:
+    """Applies a rule pack to files, sources, or whole trees."""
+
+    def __init__(self, rules: t.Optional[t.Sequence[t.Type[Rule]]] = None,
+                 config: t.Optional[Config] = None) -> None:
+        if rules is None:
+            from .rules import default_rules
+            rules = default_rules()
+        self.rules = list(rules)
+        self.config = config if config is not None else Config()
+
+    def analyze_source(self, source: str, path: str = "<string>",
+                       module: t.Optional[str] = None) -> t.List[Finding]:
+        """Analyze one source string (the unit-test entry point)."""
+        if module is None:
+            module = module_name_for(Path(path))
+        try:
+            ctx = ModuleContext(path, module, source)
+        except SyntaxError as exc:
+            return [Finding(
+                rule="parse-error", severity=Severity.ERROR, path=path,
+                line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                message=f"could not parse: {exc.msg}")]
+        findings: t.List[Finding] = []
+        for rule_cls in self.rules:
+            if not self.config.rule_enabled(rule_cls.id):
+                continue
+            if not rule_cls.applies_to(module, self.config):
+                continue
+            severity = self.config.severities.get(rule_cls.id)
+            findings.extend(rule_cls(ctx, severity=severity).run())
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    def analyze_file(self, path: t.Union[str, Path]) -> t.List[Finding]:
+        path = Path(path)
+        source = path.read_text(encoding="utf-8")
+        return self.analyze_source(source, path=path.as_posix())
+
+    def analyze_paths(self, paths: t.Iterable[t.Union[str, Path]]) -> t.List[Finding]:
+        """Analyze files and/or directory trees of ``*.py`` files."""
+        findings: t.List[Finding] = []
+        for target in paths:
+            target = Path(target)
+            files = sorted(target.rglob("*.py")) if target.is_dir() else [target]
+            for file in files:
+                if self.config.path_exempt(file):
+                    continue
+                findings.extend(self.analyze_file(file))
+        return findings
+
+
+def render_findings(findings: t.Sequence[Finding], as_json: bool = False) -> str:
+    if as_json:
+        return json.dumps([finding.to_dict() for finding in findings], indent=2)
+    return "\n".join(finding.format() for finding in findings)

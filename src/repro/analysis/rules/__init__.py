@@ -1,0 +1,52 @@
+"""The reprolint rule pack: the repo's invariants as AST rules."""
+
+import typing as t
+
+from ..engine import Rule
+from .codec import CODEC_SCOPE, StrBytesMixingRule
+from .determinism import (
+    SIM_SCOPE,
+    AmbientRandomRule,
+    OsEntropyRule,
+    SeededRandomRule,
+    WallClockRule,
+)
+from .process import UninvokedProcessRule, YieldLiteralRule
+from .sim_safety import REALNET_EXEMPT, BlockingCallRule, ForbiddenImportRule
+
+_ALL_RULES: t.Tuple[t.Type[Rule], ...] = (
+    WallClockRule,
+    AmbientRandomRule,
+    SeededRandomRule,
+    OsEntropyRule,
+    ForbiddenImportRule,
+    BlockingCallRule,
+    StrBytesMixingRule,
+    UninvokedProcessRule,
+    YieldLiteralRule,
+)
+
+RULES: t.Dict[str, t.Type[Rule]] = {rule.id: rule for rule in _ALL_RULES}
+
+
+def default_rules() -> t.Tuple[t.Type[Rule], ...]:
+    """The full rule pack, in reporting order."""
+    return _ALL_RULES
+
+
+__all__ = [
+    "CODEC_SCOPE",
+    "REALNET_EXEMPT",
+    "RULES",
+    "SIM_SCOPE",
+    "AmbientRandomRule",
+    "BlockingCallRule",
+    "ForbiddenImportRule",
+    "OsEntropyRule",
+    "SeededRandomRule",
+    "StrBytesMixingRule",
+    "UninvokedProcessRule",
+    "WallClockRule",
+    "YieldLiteralRule",
+    "default_rules",
+]

@@ -1,0 +1,89 @@
+"""Codec-hygiene rules: keep str and bytes strictly apart on wire paths.
+
+The blinding codecs, crypto, framing, and packet layers all move raw
+bytes; ``str(some_bytes)`` silently produces ``"b'...'"`` garbage that
+round-trips through tests that only check lengths.  The rule flags the
+mixings that are statically visible: ``str()`` over byte-producing
+expressions, concatenation/formatting/comparison of str and bytes
+literals, and bytes interpolated into f-strings.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from ..engine import Rule
+
+#: Modules whose job is moving raw bytes.
+CODEC_SCOPE: t.Tuple[str, ...] = (
+    "repro.crypto", "repro.core.blinding", "repro.realnet.framing",
+    "repro.net.packet",
+)
+
+#: Method names whose return value is bytes, as used in this repo.
+_BYTES_METHODS = {"encode", "digest", "to_bytes", "pack", "urandom"}
+
+
+def _is_bytes_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (bytes, bytearray)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr in _BYTES_METHODS
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"bytes", "bytearray"}
+    return False
+
+
+def _is_str_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return True
+    if isinstance(node, ast.JoinedStr):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "str"
+    return False
+
+
+class StrBytesMixingRule(Rule):
+    """No implicit str<->bytes mixing on byte-moving paths."""
+
+    id = "codec-str-bytes"
+    description = ("str(bytes) and str/bytes mixing corrupt wire data; "
+                   "decode/encode explicitly")
+    default_scope = CODEC_SCOPE
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (isinstance(node.func, ast.Name) and node.func.id == "str"
+                and node.args and _is_bytes_expr(node.args[0])):
+            self.report(node, "str() over a bytes value produces \"b'...'\" "
+                              "repr garbage; use .decode() explicitly")
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Mod)):
+            left_bytes, right_bytes = _is_bytes_expr(node.left), _is_bytes_expr(node.right)
+            left_str, right_str = _is_str_expr(node.left), _is_str_expr(node.right)
+            if (left_bytes and right_str) or (left_str and right_bytes):
+                op = "+" if isinstance(node.op, ast.Add) else "%"
+                self.report(node, f"mixing str and bytes with {op!r}; "
+                                  "encode or decode one side explicitly")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        ops_ok = all(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+        if ops_ok:
+            has_bytes = any(_is_bytes_expr(o) for o in operands)
+            has_str = any(_is_str_expr(o) for o in operands)
+            if has_bytes and has_str:
+                self.report(node, "comparing str with bytes is always False; "
+                                  "encode or decode one side explicitly")
+        self.generic_visit(node)
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue) and _is_bytes_expr(value.value):
+                self.report(node, "interpolating bytes into an f-string embeds "
+                                  "\"b'...'\" repr garbage; decode explicitly")
+        self.generic_visit(node)

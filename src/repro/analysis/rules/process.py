@@ -1,0 +1,90 @@
+"""Process-misuse rules: catching broken simulator process bodies early.
+
+``Simulator.process()`` takes a *generator object* — the result of
+calling a generator function — and the generator may only yield
+:class:`~repro.sim.events.Event` instances.  Both mistakes raise at
+runtime (see ``repro.sim.kernel``), but only on the first resume of the
+offending process, which in a long scenario can be millions of events
+into a run.  These rules reject the statically visible cases at lint
+time instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from ..engine import Rule
+
+
+def _local_function_names(tree: ast.Module) -> t.Set[str]:
+    """Names of every function defined anywhere in the module."""
+    return {node.name for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+def _process_body_names(tree: ast.Module) -> t.Set[str]:
+    """Function names invoked inline as ``<x>.process(name(...))``."""
+    names: t.Set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "process" and node.args):
+            continue
+        body = node.args[0]
+        if isinstance(body, ast.Call):
+            inner = body.func
+            if isinstance(inner, ast.Name):
+                names.add(inner.id)
+            elif isinstance(inner, ast.Attribute):
+                names.add(inner.attr)
+    return names
+
+
+class UninvokedProcessRule(Rule):
+    """``sim.process(body)`` must receive ``body(...)``, not ``body``."""
+
+    id = "process-uninvoked"
+    description = ("sim.process(fn) passes the function object instead of a "
+                   "generator; call it: sim.process(fn(sim))")
+
+    def run(self) -> t.List["t.Any"]:
+        self._functions = _local_function_names(self.ctx.tree)
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "process" and node.args):
+            body = node.args[0]
+            if isinstance(body, ast.Name) and body.id in self._functions:
+                self.report(node, f"process body {body.id!r} passed without "
+                                  f"being invoked; write {body.id}(...) to "
+                                  "create the generator")
+            elif isinstance(body, ast.Lambda):
+                self.report(node, "a lambda is not a generator; process "
+                                  "bodies must be generator functions, "
+                                  "invoked")
+        self.generic_visit(node)
+
+
+class YieldLiteralRule(Rule):
+    """Process bodies may only yield Event instances, never literals."""
+
+    id = "process-yield-literal"
+    description = ("a process body yields a literal; processes may only "
+                   "yield Event instances (sim.timeout(...), conn.recv(), ...)")
+
+    def run(self) -> t.List["t.Any"]:
+        process_bodies = _process_body_names(self.ctx.tree)
+        for node in ast.walk(self.ctx.tree):
+            if not (isinstance(node, ast.FunctionDef)
+                    and node.name in process_bodies):
+                continue
+            for child in ast.walk(node):
+                if (isinstance(child, ast.Yield)
+                        and isinstance(child.value, ast.Constant)
+                        and child.value.value is not None):
+                    self.report(child, f"process body {node.name!r} yields "
+                                       f"{child.value.value!r}; only Event "
+                                       "instances may be yielded")
+        return self.findings

@@ -1,0 +1,76 @@
+"""Sim-safety rules: the discrete-event world must stay single-threaded.
+
+The kernel is cooperative and virtual-time only.  Real concurrency
+primitives (threads, asyncio, blocking sockets, wall-clock sleeps)
+deadlock it or — worse — appear to work while silently desynchronizing
+virtual and host time.  Only ``repro.realnet`` (the loopback proxies)
+and the simulated socket layer are allowed near the real network.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from ..engine import Rule
+
+#: Modules that may touch real concurrency / the real network.
+REALNET_EXEMPT: t.Tuple[str, ...] = ("repro.realnet", "repro.transport.sockets")
+
+_FORBIDDEN_MODULES = {
+    "threading": "threads break the single-threaded event loop",
+    "asyncio": "asyncio's event loop conflicts with the simulation kernel",
+    "socket": "real sockets block on the real network",
+    "multiprocessing": "subprocesses cannot share simulated state",
+    "concurrent": "thread/process pools break the single-threaded event loop",
+    "selectors": "real I/O multiplexing has no place in virtual time",
+    "subprocess": "child processes run in wall-clock time",
+}
+
+
+class ForbiddenImportRule(Rule):
+    """No importing concurrency or real-network modules in sim code."""
+
+    id = "sim-forbidden-import"
+    description = ("threading/asyncio/socket/multiprocessing imports are "
+                   "forbidden outside repro.realnet")
+    default_exempt = REALNET_EXEMPT
+
+    def _check(self, node: ast.AST, module: t.Optional[str]) -> None:
+        if module is None:
+            return
+        root = module.split(".")[0]
+        reason = _FORBIDDEN_MODULES.get(root)
+        if reason is not None:
+            self.report(node, f"import of {module!r} in simulated code: {reason}")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0:  # relative imports are repo-internal
+            self._check(node, node.module)
+        self.generic_visit(node)
+
+
+class BlockingCallRule(Rule):
+    """No wall-clock sleeps or blocking socket calls in sim code."""
+
+    id = "sim-blocking-call"
+    description = ("time.sleep / socket.* calls block the host thread; "
+                   "yield sim.timeout(delay) instead")
+    default_exempt = REALNET_EXEMPT
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            if (base, attr) == ("time", "sleep"):
+                self.report(node, "time.sleep() blocks the host thread; "
+                                  "yield sim.timeout(delay) instead")
+            elif base == "socket":
+                self.report(node, f"socket.{attr}() touches the real network; "
+                                  "use the simulated TransportLayer")
+        self.generic_visit(node)

@@ -81,7 +81,7 @@ class GreatFirewall(Middlebox):
         self.sim = sim
         self.policy = policy
         self.config = config or GfwConfig()
-        self.rng = rng or random.Random(0x67F)
+        self.rng = rng if rng is not None else sim.rng.stream("gfw.interference")
         self.trace = trace
         self.prober = prober
         self.classifiers = classifiers if classifiers is not None else default_classifiers()

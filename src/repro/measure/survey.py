@@ -13,6 +13,7 @@ import typing as t
 from dataclasses import dataclass
 
 from ..errors import MeasurementError
+from ..sim import RngRegistry
 
 #: Published marginals.
 TOTAL_RESPONDENTS = 371
@@ -53,11 +54,19 @@ def expected_counts(total: int = TOTAL_RESPONDENTS) -> t.Dict[str, float]:
 
 
 def sample_population(total: int = TOTAL_RESPONDENTS,
-                      seed: int = 2015) -> t.List[Respondent]:
-    """Draw a synthetic population matching the published marginals."""
+                      seed: int = 2015,
+                      rng: t.Optional[random.Random] = None) -> t.List[Respondent]:
+    """Draw a synthetic population matching the published marginals.
+
+    Sampling draws from the ``"survey.population"`` registry stream, so
+    regeneration is seed-stable with the rest of the testbed; pass
+    ``rng=testbed.rng.stream("survey.population")`` to tie a survey to a
+    running experiment, or a private ``random.Random`` in tests.
+    """
     if total <= 0:
         raise MeasurementError("population must be positive")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = RngRegistry(seed).stream("survey.population")
     population: t.List[Respondent] = []
     methods = list(METHOD_SHARES)
     weights = [METHOD_SHARES[m] for m in methods]

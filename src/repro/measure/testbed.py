@@ -23,7 +23,7 @@ from ..dns import AuthoritativeServer, RecursiveResolver, StubResolver, Zone
 from ..gfw import ActiveProber, BlockPolicy, GfwConfig, GreatFirewall, default_china_policy
 from ..http import Browser, DirectConnector, Page, WebServer, google_scholar_home
 from ..net import Host, Link, Network, PacketCapture
-from ..sim import ProcessorSharingServer, RngRegistry, Simulator, TraceLog
+from ..sim import ProcessorSharingServer, Simulator, TraceLog
 from ..transport import TransportLayer, install_transport
 from ..units import Mbps, ms
 
@@ -66,8 +66,8 @@ class Testbed:
         extra_clients: int = 0,
         gfw_enabled: bool = True,
     ) -> None:
-        self.sim = Simulator()
-        self.rng = RngRegistry(seed)
+        self.sim = Simulator(seed=seed)
+        self.rng = self.sim.rng
         self.trace = TraceLog(self.sim)
         self.net = Network(self.sim, rng=self.rng, trace=self.trace)
         net = self.net
@@ -191,7 +191,7 @@ class Testbed:
         if gfw_enabled:
             self.gfw = GreatFirewall(
                 self.sim, self.policy, self.gfw_config,
-                rng=self.rng.stream("gfw"), trace=self.trace,
+                rng=self.rng.stream("gfw.interference"), trace=self.trace,
                 prober=self.prober)
             self.border_link.add_middlebox(self.gfw)
 

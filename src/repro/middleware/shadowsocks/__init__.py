@@ -10,6 +10,7 @@ from .protocol import (
     address_block,
     auth_features,
     data_features,
+    derive_iv,
     derive_key,
     first_frame,
     first_frame_features,
@@ -29,6 +30,7 @@ __all__ = [
     "address_block",
     "auth_features",
     "data_features",
+    "derive_iv",
     "derive_key",
     "first_frame",
     "first_frame_features",

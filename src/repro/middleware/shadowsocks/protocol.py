@@ -18,7 +18,7 @@ ciphertext* produced by the pure-Python AES-CFB, not hand-declared.
 
 from __future__ import annotations
 
-import os
+import hashlib
 import typing as t
 
 from ...crypto import CfbCipher, evp_bytes_to_key, shannon_entropy
@@ -48,10 +48,22 @@ def address_block(host: str, port: int) -> bytes:
     return bytes([3, len(encoded)]) + encoded + port.to_bytes(2, "big")
 
 
+def derive_iv(password: str, host: str, port: int) -> bytes:
+    """Deterministic per-(password, host, port) IV.
+
+    Real Shadowsocks draws a fresh ``os.urandom`` IV per connection;
+    inside the deterministic testbed the IV only feeds the measured
+    wire features, so a keyed digest keeps the ciphertext realistic
+    while keeping runs bit-for-bit reproducible.  Pass ``iv=`` to the
+    frame functions to model the real thing.
+    """
+    return hashlib.md5(f"{password}|{host}|{port}".encode()).digest()[:IV_LENGTH]
+
+
 def first_frame(password: str, host: str, port: int,
                 iv: t.Optional[bytes] = None) -> bytes:
     """Real bytes of the first client frame (IV ‖ ciphertext)."""
-    iv = iv if iv is not None else os.urandom(IV_LENGTH)
+    iv = iv if iv is not None else derive_iv(password, host, port)
     cipher = CfbCipher(derive_key(password), iv)
     return iv + cipher.encrypt(address_block(host, port))
 
@@ -66,7 +78,7 @@ def first_frame_features(password: str, host: str, port: int,
     cipher were swapped for something weaker, the measured entropy —
     and thus GFW detectability — would change with it.
     """
-    iv = iv if iv is not None else os.urandom(IV_LENGTH)
+    iv = iv if iv is not None else derive_iv(password, host, port)
     cipher = CfbCipher(derive_key(password), iv)
     header = cipher.encrypt(address_block(host, port))
     continuation = cipher.encrypt(

@@ -68,7 +68,7 @@ class Link:
         self.latency = latency
         self.bandwidth = bandwidth
         self.loss = loss
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None else sim.rng.stream("link.loss")
         self.name = name or f"{a.name}<->{b.name}"
         self.trace = trace
         self.middleboxes: t.List[Middlebox] = []

@@ -29,7 +29,7 @@ class Network:
         trace: t.Optional[TraceLog] = None,
     ) -> None:
         self.sim = sim
-        self.rng = rng or RngRegistry(0)
+        self.rng = rng if rng is not None else sim.rng
         self.trace = trace if trace is not None else TraceLog(sim)
         self.nodes: t.Dict[str, Node] = {}
         self.links: t.List[Link] = []

@@ -25,6 +25,7 @@ import typing as t
 
 from ..errors import ProcessKilled, SimulationError
 from .events import AllOf, AnyOf, Event, Timeout, PRIORITY_URGENT
+from .rng import RngRegistry
 
 ProcessGenerator = t.Generator[Event, t.Any, t.Any]
 
@@ -114,13 +115,22 @@ class Process(Event):
 
 
 class Simulator:
-    """Deterministic single-threaded discrete-event simulator."""
+    """Deterministic single-threaded discrete-event simulator.
 
-    def __init__(self) -> None:
+    The simulator owns the experiment's :class:`RngRegistry`: every
+    stochastic component defaults to a named stream from ``sim.rng``
+    (``"link.loss"``, ``"gfw.interference"``, ...), so one ``seed``
+    fixes the entire trace.  Components still accept an injected
+    ``rng=`` for tests that want a private stream.
+    """
+
+    def __init__(self, seed: int = 0,
+                 rng: t.Optional[RngRegistry] = None) -> None:
         self._now = 0.0
         self._queue: t.List[t.Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._running = False
+        self.rng = rng if rng is not None else RngRegistry(seed)
 
     # -- clock -------------------------------------------------------------
 

@@ -1,0 +1,359 @@
+"""Per-rule unit tests for reprolint: positive and negative fixtures,
+suppression comments, scope/exemption handling, and config overrides."""
+
+import textwrap
+
+from repro.analysis import Analyzer, Config, Severity, in_scope, module_name_for
+from pathlib import Path
+
+
+def lint(source, module="repro.net.fixture", config=None):
+    analyzer = Analyzer(config=config if config is not None else Config())
+    return analyzer.analyze_source(textwrap.dedent(source), module=module)
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+# -- det-wallclock -------------------------------------------------------------------
+
+def test_wallclock_time_flagged():
+    findings = lint("""
+        import time
+        def stamp():
+            return time.time()
+    """, module="repro.sim.fixture")
+    assert rule_ids(findings) == ["det-wallclock"]
+
+
+def test_wallclock_datetime_flagged():
+    findings = lint("""
+        import datetime
+        a = datetime.datetime.now()
+    """, module="repro.core.fixture")
+    assert rule_ids(findings) == ["det-wallclock"]
+
+
+def test_sim_now_not_flagged():
+    assert lint("def f(sim):\n    return sim.now\n") == []
+
+
+def test_wallclock_out_of_scope_not_flagged():
+    assert lint("import time\nt = time.time()\n",
+                module="repro.realnet.fixture") == []
+
+
+# -- det-ambient-random --------------------------------------------------------------
+
+def test_ambient_random_call_flagged():
+    findings = lint("import random\nx = random.random()\n")
+    assert rule_ids(findings) == ["det-ambient-random"]
+
+
+def test_ambient_random_import_from_flagged():
+    findings = lint("from random import choice, shuffle\n")
+    assert rule_ids(findings) == ["det-ambient-random"]
+
+
+def test_import_of_random_class_ok():
+    assert lint("from random import Random\n") == []
+
+
+def test_stream_draws_not_flagged():
+    assert lint("""
+        def loss(rng):
+            return rng.random() < 0.5
+    """) == []
+
+
+# -- det-seeded-random ---------------------------------------------------------------
+
+def test_unseeded_random_flagged():
+    findings = lint("import random\nrng = random.Random()\n")
+    assert rule_ids(findings) == ["det-seeded-random"]
+    assert "OS entropy" in findings[0].message
+
+
+def test_literal_seed_flagged_with_location():
+    findings = lint("import random\n\nrng = random.Random(0x67F)\n",
+                    module="repro.gfw.fixture")
+    assert rule_ids(findings) == ["det-seeded-random"]
+    assert findings[0].line == 3
+    assert "1663" in findings[0].message
+
+
+def test_derived_seed_construction_flagged():
+    findings = lint("""
+        import random
+        def make(seed):
+            return random.Random(seed)
+    """)
+    assert rule_ids(findings) == ["det-seeded-random"]
+    assert "injected rng" in findings[0].message
+
+
+def test_registry_module_exempt():
+    assert lint("import random\nstream = random.Random(derived)\n",
+                module="repro.sim.rng") == []
+
+
+def test_injected_rng_annotation_ok():
+    assert lint("""
+        import random
+        import typing as t
+        def f(rng: t.Optional[random.Random] = None):
+            return rng
+    """) == []
+
+
+# -- det-urandom ---------------------------------------------------------------------
+
+def test_urandom_flagged_in_middleware():
+    findings = lint("import os\niv = os.urandom(16)\n",
+                    module="repro.middleware.fixture")
+    assert rule_ids(findings) == ["det-urandom"]
+
+
+def test_urandom_allowed_in_realnet():
+    assert lint("import os\niv = os.urandom(16)\n",
+                module="repro.realnet.fixture") == []
+
+
+def test_secrets_and_uuid4_flagged():
+    findings = lint("""
+        import secrets
+        import uuid
+        a = secrets.token_bytes(8)
+        b = uuid.uuid4()
+    """, module="repro.core.fixture")
+    assert rule_ids(findings) == ["det-urandom", "det-urandom"]
+
+
+# -- sim-forbidden-import / sim-blocking-call ----------------------------------------
+
+def test_threading_import_flagged():
+    findings = lint("import threading\n", module="repro.sim.fixture")
+    assert rule_ids(findings) == ["sim-forbidden-import"]
+
+
+def test_asyncio_from_import_flagged():
+    findings = lint("from asyncio import StreamReader\n",
+                    module="repro.http.fixture")
+    assert rule_ids(findings) == ["sim-forbidden-import"]
+
+
+def test_realnet_exempt_from_import_rule():
+    assert lint("import asyncio\nimport socket\n",
+                module="repro.realnet.fixture") == []
+
+
+def test_sim_sockets_module_exempt():
+    assert lint("import socket\n", module="repro.transport.sockets") == []
+
+
+def test_relative_import_not_flagged():
+    assert lint("from ..transport.sockets import Datagram\n") == []
+
+
+def test_time_sleep_flagged():
+    findings = lint("""
+        import time
+        def wait():
+            time.sleep(1.0)
+    """, module="repro.transport.tcp")
+    assert "sim-blocking-call" in rule_ids(findings)
+
+
+def test_socket_call_flagged():
+    findings = lint("""
+        import socket
+        s = socket.create_connection(("h", 80))
+    """, module="repro.dns.fixture")
+    assert rule_ids(findings) == ["sim-forbidden-import", "sim-blocking-call"]
+
+
+# -- codec-str-bytes -----------------------------------------------------------------
+
+def test_str_over_bytes_literal_flagged():
+    findings = lint('x = str(b"\\x00payload")\n', module="repro.crypto.fixture")
+    assert rule_ids(findings) == ["codec-str-bytes"]
+
+
+def test_str_over_encode_flagged():
+    findings = lint('x = str(name.encode())\n', module="repro.net.packet")
+    assert rule_ids(findings) == ["codec-str-bytes"]
+
+
+def test_mixed_concat_flagged():
+    findings = lint('frame = "IV:" + b"abc"\n', module="repro.realnet.framing")
+    assert rule_ids(findings) == ["codec-str-bytes"]
+
+
+def test_mixed_comparison_flagged():
+    findings = lint('ok = header == "MAGIC" == b"MAGIC"\n',
+                    module="repro.core.blinding")
+    assert "codec-str-bytes" in rule_ids(findings)
+
+
+def test_bytes_in_fstring_flagged():
+    findings = lint('msg = f"got {b\'raw\'}"\n', module="repro.crypto.fixture")
+    assert rule_ids(findings) == ["codec-str-bytes"]
+
+
+def test_explicit_decode_ok():
+    assert lint('x = payload.decode("utf-8")\ny = b"a" + b"b"\n',
+                module="repro.crypto.fixture") == []
+
+
+def test_codec_rule_scoped_to_wire_modules():
+    # str(bytes) is sloppy but harmless in, say, report formatting.
+    assert lint('x = str(b"abc")\n', module="repro.measure.report") == []
+
+
+# -- process rules -------------------------------------------------------------------
+
+def test_uninvoked_process_body_flagged():
+    findings = lint("""
+        def body(sim):
+            yield sim.timeout(1.0)
+        def start(sim):
+            sim.process(body)
+    """, module="repro.http.fixture")
+    assert rule_ids(findings) == ["process-uninvoked"]
+
+
+def test_invoked_process_body_ok():
+    assert lint("""
+        def body(sim):
+            yield sim.timeout(1.0)
+        def start(sim):
+            sim.process(body(sim), name="worker")
+    """, module="repro.http.fixture") == []
+
+
+def test_lambda_process_body_flagged():
+    findings = lint("""
+        def start(sim):
+            sim.process(lambda: None)
+    """, module="repro.http.fixture")
+    assert rule_ids(findings) == ["process-uninvoked"]
+
+
+def test_process_yield_literal_flagged():
+    findings = lint("""
+        def body(sim):
+            yield 42
+            yield sim.timeout(1.0)
+        def start(sim):
+            sim.process(body(sim))
+    """, module="repro.middleware.fixture")
+    assert rule_ids(findings) == ["process-yield-literal"]
+    assert "42" in findings[0].message
+
+
+def test_plain_generator_yielding_literals_ok():
+    # An ordinary iterator generator is not a process body.
+    assert lint("""
+        def chunks():
+            yield 1
+            yield 2
+    """) == []
+
+
+# -- suppressions --------------------------------------------------------------------
+
+def test_line_suppression_applies_to_that_line_only():
+    findings = lint("""
+        import random
+        a = random.Random(0)  # reprolint: disable=det-seeded-random
+        b = random.Random(1)
+    """)
+    assert len(findings) == 1
+    assert findings[0].line == 4
+
+
+def test_file_suppression_applies_everywhere():
+    findings = lint("""
+        # reprolint: disable=det-seeded-random
+        import random
+        a = random.Random(0)
+        b = random.Random(1)
+    """)
+    assert findings == []
+
+
+def test_disable_all_suppresses_every_rule():
+    findings = lint("""
+        # reprolint: disable=all
+        import threading
+        import random
+        a = random.Random(0)
+    """, module="repro.sim.fixture")
+    assert findings == []
+
+
+def test_suppression_of_other_rule_does_not_leak():
+    findings = lint(
+        "import random\n"
+        "a = random.Random(0)  # reprolint: disable=det-wallclock\n")
+    assert rule_ids(findings) == ["det-seeded-random"]
+
+
+# -- engine: config, scopes, severity ------------------------------------------------
+
+def test_enabled_subset_filters_rules():
+    config = Config(enabled=frozenset({"det-wallclock"}))
+    findings = lint("import random\nx = random.Random(0)\n", config=config)
+    assert findings == []
+
+
+def test_severity_override_downgrades_to_warning():
+    config = Config(severities={"det-seeded-random": Severity.WARNING})
+    findings = lint("import random\nx = random.Random(0)\n", config=config)
+    assert [f.severity for f in findings] == [Severity.WARNING]
+
+
+def test_scope_override_widens_rule():
+    config = Config(scopes={"det-wallclock": ("repro",)})
+    findings = lint("import time\nt = time.time()\n",
+                    module="repro.realnet.fixture", config=config)
+    assert rule_ids(findings) == ["det-wallclock"]
+
+
+def test_exempt_paths_skip_files(tmp_path):
+    bad = tmp_path / "repro" / "net" / "vendored.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import random\nx = random.Random(0)\n")
+    flagged = Analyzer(config=Config()).analyze_paths([bad])
+    assert rule_ids(flagged) == ["det-seeded-random"]
+    exempted = Analyzer(config=Config(exempt_paths=("*/vendored.py",)))
+    assert exempted.analyze_paths([bad]) == []
+
+
+def test_syntax_error_reported_as_finding():
+    findings = lint("def broken(:\n")
+    assert rule_ids(findings) == ["parse-error"]
+
+
+def test_module_name_for_paths():
+    assert module_name_for(Path("src/repro/net/link.py")) == "repro.net.link"
+    assert module_name_for(Path("src/repro/sim/__init__.py")) == "repro.sim"
+    assert module_name_for(Path("elsewhere/tool.py")) == "tool"
+
+
+def test_in_scope_prefix_matching():
+    assert in_scope("repro.net.link", ("repro.net",))
+    assert not in_scope("repro.network", ("repro.net",))
+    assert in_scope("repro.net", ("repro.net",))
+
+
+def test_findings_are_jsonable_and_sorted():
+    findings = lint("""
+        import random
+        import threading
+        b = random.Random(1)
+    """, module="repro.sim.fixture")
+    assert [f.line for f in findings] == sorted(f.line for f in findings)
+    payload = findings[0].to_dict()
+    assert set(payload) == {"rule", "severity", "path", "line", "col", "message"}
