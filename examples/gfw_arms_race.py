@@ -58,8 +58,14 @@ def act_two_blinding_agility() -> None:
     before = testbed.run_process(browser.load(testbed.scholar_page))
     print(f"  baseline load: {before.plt:.2f}s")
 
-    testbed.gfw.classifiers.append(LearnedClassifier(system.agility.codec.jitter))
-    testbed.policy.set_interference("learned-blinded", 0.25)
+    def learn_signature(gfw):
+        gfw.classifiers.append(
+            LearnedClassifier(system.agility.codec.jitter))
+        gfw.policy.set_interference("learned-blinded", 0.25)
+
+    # Audited policy path: the change lands in gfw.policy_log/the trace.
+    testbed.gfw.apply_policy(learn_signature,
+                             label="learned-blinded-classifier")
     testbed.sim.run(until=testbed.sim.now + 60)
     degraded = testbed.run_process(browser.load(testbed.scholar_page))
     print(f"  after the GFW update: "

@@ -12,6 +12,7 @@ from .determinism import (
     WallClockRule,
 )
 from .process import UninvokedProcessRule, YieldLiteralRule
+from .robustness import SilentExceptRule
 from .sim_safety import REALNET_EXEMPT, BlockingCallRule, ForbiddenImportRule
 
 _ALL_RULES: t.Tuple[t.Type[Rule], ...] = (
@@ -24,6 +25,7 @@ _ALL_RULES: t.Tuple[t.Type[Rule], ...] = (
     StrBytesMixingRule,
     UninvokedProcessRule,
     YieldLiteralRule,
+    SilentExceptRule,
 )
 
 RULES: t.Dict[str, t.Type[Rule]] = {rule.id: rule for rule in _ALL_RULES}
@@ -44,6 +46,7 @@ __all__ = [
     "ForbiddenImportRule",
     "OsEntropyRule",
     "SeededRandomRule",
+    "SilentExceptRule",
     "StrBytesMixingRule",
     "UninvokedProcessRule",
     "WallClockRule",

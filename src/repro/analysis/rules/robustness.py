@@ -1,0 +1,65 @@
+"""Robustness rules: failures on wire/sim paths must not vanish.
+
+A pump loop or protocol handler that catches ``Exception`` and does
+nothing turns every transport fault, codec bug, and simulator error
+into silence — the load "succeeds" with wrong traffic, or a process
+quietly dies and the experiment deadlocks later.  Handlers must catch
+the narrow error type they expect (``TransportError``,
+``MiddlewareError``, ...) or do something observable with the failure.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from ..engine import Rule
+
+#: Exception names considered too broad to swallow silently.
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_name(expr: t.Optional[ast.expr]) -> t.Optional[str]:
+    """The broad exception name caught by ``expr``, if any."""
+    if expr is None:
+        return "bare except"
+    if isinstance(expr, ast.Name) and expr.id in _BROAD_NAMES:
+        return expr.id
+    if isinstance(expr, ast.Tuple):
+        for element in expr.elts:
+            name = _broad_name(element)
+            if name is not None:
+                return name
+    return None
+
+
+def _is_trivial(statement: ast.stmt) -> bool:
+    """True for statements that discard the failure without a trace."""
+    if isinstance(statement, (ast.Pass, ast.Continue, ast.Break)):
+        return True
+    if isinstance(statement, ast.Return):
+        value = statement.value
+        return value is None or (isinstance(value, ast.Constant)
+                                 and value.value is None)
+    if isinstance(statement, ast.Expr):
+        return isinstance(statement.value, ast.Constant)
+    return False
+
+
+class SilentExceptRule(Rule):
+    """No silently swallowed broad exceptions on wire/sim paths."""
+
+    id = "silent-except"
+    description = ("`except Exception:`/bare `except:` whose body only "
+                   "passes/continues/returns hides wire and sim failures; "
+                   "catch the narrow error type instead")
+    default_exempt = ("repro.analysis",)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        caught = _broad_name(node.type)
+        if caught is not None and all(_is_trivial(s) for s in node.body):
+            self.report(node,
+                        f"{caught} swallowed silently; catch the narrow "
+                        "error type (TransportError, MiddlewareError, ...) "
+                        "or handle the failure observably")
+        self.generic_visit(node)

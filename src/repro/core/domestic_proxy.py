@@ -7,13 +7,20 @@ visible whitelist, and blinds traffic toward the remote proxy.  One
 transpacific connection is dialed per user stream — like Shadowsocks'
 data connection, but with no per-session authentication round trip in
 front of it (the paper's explanation for ScholarCloud's shorter PLT).
+
+The transpacific leg is also where ScholarCloud's availability story
+lives: the dial goes through a :class:`~repro.faults.FailoverPool` of
+remote proxies, each guarded by a circuit breaker, with retry/backoff
+on top — so a crashed or IP-blocked remote is absorbed server-side
+while the browser's already-acknowledged stream simply queues.
 """
 
 from __future__ import annotations
 
 import typing as t
 
-from ..errors import TransportError
+from ..errors import MiddlewareError, TransportError
+from ..faults import Endpoint, FailoverPool, RetryPolicy
 from ..net import IPv4Address
 from ..sim import ProcessorSharingServer, Simulator
 from ..transport import TcpConnection, TransportLayer
@@ -27,6 +34,14 @@ DOMESTIC_PROXY_PORT = 8080
 #: CPU work per stream and per relayed byte on the domestic VM.
 CONNECT_DEMAND = 0.002
 PER_BYTE_DEMAND = 2.5e-7
+#: Transpacific dial timeout.  Much shorter than a browser's 30 s: the
+#: proxy would rather fail fast and try a replica than leave the user's
+#: (already-acknowledged) stream hanging on one dead endpoint.
+DIAL_TIMEOUT = 5.0
+#: Cadence/timeout of the failover pool's health probes (only started
+#: when there is more than one remote to choose between).
+HEALTH_CHECK_INTERVAL = 15.0
+HEALTH_CHECK_TIMEOUT = 3.0
 
 
 class DomesticProxy:
@@ -36,25 +51,53 @@ class DomesticProxy:
         self,
         sim: Simulator,
         host,
-        remote_addr: t.Union[str, IPv4Address],
-        whitelist: Whitelist,
-        agility: BlindingAgility,
-        cpu: ProcessorSharingServer,
+        remote_addr: t.Union[None, str, IPv4Address] = None,
+        whitelist: t.Optional[Whitelist] = None,
+        agility: t.Optional[BlindingAgility] = None,
+        cpu: t.Optional[ProcessorSharingServer] = None,
         port: int = DOMESTIC_PROXY_PORT,
         remote_port: int = REMOTE_PROXY_PORT,
+        remote_addrs: t.Optional[t.Sequence[t.Union[str, IPv4Address]]] = None,
+        dial_timeout: float = DIAL_TIMEOUT,
+        retry: t.Optional[RetryPolicy] = None,
     ) -> None:
+        if whitelist is None or agility is None or cpu is None:
+            raise TypeError(
+                "DomesticProxy requires whitelist, agility, and cpu")
+        addresses = list(remote_addrs) if remote_addrs else []
+        if remote_addr is not None and not addresses:
+            addresses = [remote_addr]
+        if not addresses:
+            raise TypeError("DomesticProxy requires remote_addr(s)")
         self.sim = sim
         self.host = host
-        self.remote_addr = IPv4Address(remote_addr)
         self.whitelist = whitelist
         self.agility = agility
         self.cpu = cpu
         self.port = port
         self.remote_port = remote_port
+        self.dial_timeout = dial_timeout
+        self.pool = FailoverPool(
+            sim,
+            [Endpoint(IPv4Address(address), remote_port)
+             for address in addresses])
+        #: Primary remote address (compatibility with single-remote users).
+        self.remote_addr = self.pool.primary.address
+        self.retry = retry if retry is not None else RetryPolicy(
+            attempts=4, base=0.5, cap=4.0,
+            rng=sim.rng.stream("resilience.sc-domestic"))
         self.streams_served = 0
         self.refused = 0
+        self.dials_failed = 0
         transport = t.cast(TransportLayer, host.transport)
         transport.listen_tcp(port, self._accept)
+        # With replicas available, probe them so a dead primary's
+        # breaker opens (and later half-opens) off the request path.
+        if len(self.pool.endpoints) > 1:
+            self.pool.start_health_checks(
+                transport, interval=HEALTH_CHECK_INTERVAL,
+                timeout=HEALTH_CHECK_TIMEOUT,
+                features=self.agility.codec.features())
 
     # -- browser-side handling ---------------------------------------------------------
 
@@ -101,15 +144,32 @@ class DomesticProxy:
     # -- transpacific dialing -----------------------------------------------------------------
 
     def _dial_remote(self):
-        """Open a fresh blinded connection to the remote proxy."""
+        """Open a blinded connection to a healthy remote proxy.
+
+        Retries with capped jittered backoff; each attempt asks the
+        failover pool for the highest-priority endpoint whose breaker
+        admits traffic.  Returns None only once every attempt across
+        every admissible endpoint has failed.
+        """
         transport = t.cast(TransportLayer, self.host.transport)
-        try:
-            conn = yield transport.connect_tcp(
-                self.remote_addr, self.remote_port,
-                features=self.agility.codec.features(), timeout=30.0)
-        except TransportError:
-            return None
-        return conn
+        for delay in self.retry.delays():
+            if delay > 0.0:
+                yield self.sim.timeout(delay)
+            endpoint = self.pool.pick()
+            if endpoint is None:
+                continue  # every breaker open; back off and re-ask
+            try:
+                conn = yield transport.connect_tcp(
+                    endpoint.address, endpoint.port,
+                    features=self.agility.codec.features(),
+                    timeout=self.dial_timeout)
+            except TransportError:
+                self.pool.record_failure(endpoint)
+                continue
+            self.pool.record_success(endpoint)
+            return conn
+        self.dials_failed += 1
+        return None
 
     # -- pumps ----------------------------------------------------------------------------------
 
@@ -126,8 +186,8 @@ class DomesticProxy:
                 return
             try:
                 length, meta = unwrap_forward(message)
-            except Exception:
-                continue
+            except MiddlewareError:
+                continue  # malformed browser frame: skip, keep pumping
             yield self.cpu.submit(PER_BYTE_DEMAND * length)
             padded = length + 4 + codec.pad_length(length)
             try:

@@ -15,7 +15,7 @@ from __future__ import annotations
 import typing as t
 
 from ..dns import StubResolver
-from ..errors import NameResolutionError, TransportError
+from ..errors import MiddlewareError, NameResolutionError, TransportError
 from ..sim import ProcessorSharingServer, Simulator
 from ..transport import TcpConnection, TransportLayer
 from ..middleware.base import estimate_meta_length, unwrap_forward, wrap_forward
@@ -43,7 +43,7 @@ def blind_unwrap(message: t.Any, epoch: int) -> t.Optional[t.Tuple[int, t.Any]]:
         return None
     try:
         return unwrap_forward(message[2])
-    except Exception:
+    except MiddlewareError:
         return None
 
 

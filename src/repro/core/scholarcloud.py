@@ -14,7 +14,8 @@ from __future__ import annotations
 import typing as t
 
 from ..dns import StubResolver
-from ..errors import MiddlewareError
+from ..errors import MiddlewareError, TransportError
+from ..faults import RetryPolicy
 from ..http.client import Connector, DirectConnector, TlsStream
 from ..middleware.base import AccessMethod, ChannelStream, RelayedChannel
 from ..net import WireFeatures
@@ -34,12 +35,30 @@ class ScConnector(Connector):
 
     name = "scholarcloud"
 
-    def __init__(self, system: "ScholarCloud", host=None) -> None:
+    def __init__(self, system: "ScholarCloud", host=None,
+                 retry: t.Optional[RetryPolicy] = None) -> None:
         self.system = system
         self.host = host if host is not None else system.testbed.client
         self.session_tickets: t.Set[str] = set()
+        self.retry = retry if retry is not None else RetryPolicy(
+            attempts=3, base=0.25, cap=2.0,
+            rng=system.testbed.rng.stream("resilience.sc-client"))
 
     def open(self, hostname: str, port: int, use_tls: bool):
+        """Dial with retry/backoff; a whitelist refusal is permanent."""
+        last_error: t.Optional[TransportError] = None
+        for delay in self.retry.delays():
+            if delay > 0.0:
+                yield self.system.testbed.sim.timeout(delay)
+            try:
+                return (yield from self._open_once(hostname, port, use_tls))
+            except TransportError as exc:
+                last_error = exc
+        raise MiddlewareError(
+            f"ScholarCloud: {hostname} unreachable after "
+            f"{self.retry.attempts} attempts: {last_error}")
+
+    def _open_once(self, hostname: str, port: int, use_tls: bool):
         testbed = self.system.testbed
         transport = testbed.transport_of(self.host)
         conn = yield transport.connect_tcp(
@@ -48,17 +67,26 @@ class ScConnector(Connector):
                                   plaintext=f"CONNECT {hostname}:{port}",
                                   entropy=4.5),
             timeout=30.0)
-        conn.send_message(48, meta=("sc-connect", hostname, port))
-        reply = yield conn.recv_message()
-        if reply != ("sc-ready",):
-            raise MiddlewareError(f"ScholarCloud refused {hostname}: {reply!r}")
-        channel = RelayedChannel(testbed.sim, conn, overhead=4,
-                                 features=None, name="sc-client")
-        if not use_tls:
-            return ChannelStream(channel)
-        session = TlsSession(channel, sni=hostname)
-        resumed = hostname in self.session_tickets
-        yield from session.client_handshake(resumed=resumed)
+        try:
+            conn.send_message(48, meta=("sc-connect", hostname, port))
+            reply = yield conn.recv_message()
+            if reply is None:
+                raise TransportError(
+                    f"ScholarCloud: proxy closed while opening {hostname}")
+            if reply != ("sc-ready",):
+                raise MiddlewareError(
+                    f"ScholarCloud refused {hostname}: {reply!r}")
+            channel = RelayedChannel(testbed.sim, conn, overhead=4,
+                                     features=None, name="sc-client")
+            if not use_tls:
+                return ChannelStream(channel)
+            session = TlsSession(channel, sni=hostname)
+            resumed = hostname in self.session_tickets
+            yield from session.client_handshake(resumed=resumed)
+        except BaseException:
+            # Close-on-error: a failed open must not strand the dial.
+            conn.close()
+            raise
         self.session_tickets.add(hostname)
         return TlsStream(session)
 
@@ -77,6 +105,8 @@ class ScholarCloud(AccessMethod):
         self.agility = BlindingAgility(secret)
         self.domestic: t.Optional[DomesticProxy] = None
         self.remote: t.Optional[RemoteProxy] = None
+        #: All deployed remote proxies (primary first, then replicas).
+        self.remotes: t.List[RemoteProxy] = []
         self.pac: t.Optional[PacFile] = None
         self.icp_number: t.Optional[str] = None
         self.deployed = False
@@ -92,19 +122,27 @@ class ScholarCloud(AccessMethod):
         return DOMESTIC_PROXY_PORT
 
     def deploy(self):
-        """Generator: stand up both proxies and generate the PAC."""
+        """Generator: stand up the proxies and generate the PAC.
+
+        One remote proxy is deployed per remote VM the testbed offers
+        (``Testbed(remote_replicas=N)``); the domestic proxy's failover
+        pool is handed every address, primary first.
+        """
         from ..measure.testbed import GOOGLE_DNS_ADDR
         testbed = self.testbed
-        if self.remote is None:
-            resolver = StubResolver(testbed.sim, testbed.remote_vm,
-                                    upstream=GOOGLE_DNS_ADDR, port=5362)
-            self.remote = RemoteProxy(
-                testbed.sim, testbed.remote_vm, resolver,
-                cpu=testbed.remote_cpu, agility=self.agility)
+        if not self.remotes:
+            remote_vms = getattr(testbed, "remote_vms", [testbed.remote_vm])
+            remote_cpus = getattr(testbed, "remote_cpus", [testbed.remote_cpu])
+            for vm, cpu in zip(remote_vms, remote_cpus):
+                resolver = StubResolver(testbed.sim, vm,
+                                        upstream=GOOGLE_DNS_ADDR, port=5362)
+                self.remotes.append(RemoteProxy(
+                    testbed.sim, vm, resolver, cpu=cpu, agility=self.agility))
+            self.remote = self.remotes[0]
         if self.domestic is None:
             self.domestic = DomesticProxy(
                 testbed.sim, testbed.domestic_vm,
-                remote_addr=testbed.remote_vm.address,
+                remote_addrs=[proxy.host.address for proxy in self.remotes],
                 whitelist=self.whitelist, agility=self.agility,
                 cpu=testbed.domestic_cpu)
         self.pac = PacFile(self.whitelist, str(self.domestic_addr),

@@ -101,5 +101,9 @@ class MeasurementError(ReproError):
     """Errors raised by the measurement harness."""
 
 
+class FaultError(ReproError):
+    """A fault schedule was malformed or could not be applied."""
+
+
 class ConfigurationError(ReproError):
     """A component was constructed with inconsistent parameters."""

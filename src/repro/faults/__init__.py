@@ -1,0 +1,26 @@
+"""Deterministic fault injection and the resilience layer that survives it.
+
+Two halves:
+
+* :mod:`repro.faults.schedule` — scripts timed, seeded fault events
+  (link flaps, proxy crashes, GFW escalations, DNS-poison bursts)
+  against a running :class:`~repro.measure.testbed.Testbed`;
+* :mod:`repro.faults.resilience` — retry with capped jittered backoff,
+  per-remote circuit breakers, and a health-checked failover pool, used
+  by the ScholarCloud connector and domestic proxy.
+"""
+
+from .resilience import CircuitBreaker, Endpoint, FailoverPool, RetryPolicy
+from .schedule import FaultEvent, FaultInjector, FaultSchedule
+from .scripts import standard_fault_script
+
+__all__ = [
+    "CircuitBreaker",
+    "Endpoint",
+    "FailoverPool",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "RetryPolicy",
+    "standard_fault_script",
+]

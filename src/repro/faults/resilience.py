@@ -1,0 +1,211 @@
+"""Resilience primitives: retry policy, circuit breaker, failover pool.
+
+The paper's availability story (§4, Fig. 5c/7) is not that ScholarCloud's
+path never fails — the transpacific leg is as lossy and censorable as
+anyone's — but that the *service* absorbs failures: the domestic proxy
+re-dials with backoff, fails over to a replica remote proxy, and stops
+hammering a dead endpoint until it recovers.  These three classes are
+that machinery, kept deliberately generic so connectors and proxies can
+share them.
+
+Everything here is deterministic: backoff jitter draws from a named
+:class:`~repro.sim.rng.RngRegistry` stream, and breaker transitions are
+timestamped with simulated time, so one seed yields one byte-identical
+recovery trace.
+"""
+
+from __future__ import annotations
+
+import random
+import typing as t
+from dataclasses import dataclass
+
+from ..errors import TransportError
+from ..net import IPv4Address
+from ..sim import Simulator
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from ..transport import TransportLayer
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One dialable (address, port) pair in a failover pool."""
+
+    address: IPv4Address
+    port: int
+    name: str = ""
+
+    def __str__(self) -> str:
+        return self.name or f"{self.address}:{self.port}"
+
+
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``delays()`` yields the pre-attempt delay for each attempt: 0.0 for
+    the first try, then ``base * multiplier**k`` capped at ``cap``, each
+    multiplied by a jitter factor in ``[1-jitter, 1+jitter]`` drawn from
+    the injected rng stream.  Jitter draws are lazy — a dial that
+    succeeds on its first attempt consumes no randomness — which keeps
+    the fast path's rng trace identical to a world with no retries.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 4,
+        base: float = 0.5,
+        multiplier: float = 2.0,
+        cap: float = 8.0,
+        jitter: float = 0.1,
+        rng: t.Optional[random.Random] = None,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0,1), got {jitter}")
+        self.attempts = attempts
+        self.base = base
+        self.multiplier = multiplier
+        self.cap = cap
+        self.jitter = jitter
+        self.rng = rng
+
+    def delays(self) -> t.Iterator[float]:
+        """Yield the delay to sleep *before* each attempt."""
+        yield 0.0
+        for exponent in range(self.attempts - 1):
+            delay = min(self.cap, self.base * self.multiplier ** exponent)
+            if self.rng is not None and self.jitter > 0.0:
+                delay *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+            yield delay
+
+
+class CircuitBreaker:
+    """Per-endpoint breaker: CLOSED -> OPEN -> HALF_OPEN -> CLOSED.
+
+    Opens after ``failure_threshold`` consecutive failures; after
+    ``reset_timeout`` simulated seconds the next :meth:`allow` call
+    flips it to HALF_OPEN, admitting one trial — success closes the
+    breaker, failure re-opens it.  Every transition is recorded as
+    ``(sim.now, from_state, to_state)`` so tests can assert the exact
+    recovery trace.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, sim: Simulator, failure_threshold: int = 3,
+                 reset_timeout: float = 30.0, name: str = "breaker") -> None:
+        self.sim = sim
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.name = name
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: t.Optional[float] = None
+        self.transitions: t.List[t.Tuple[float, str, str]] = []
+
+    def _transition(self, to_state: str) -> None:
+        self.transitions.append((self.sim.now, self.state, to_state))
+        self.state = to_state
+
+    def allow(self) -> bool:
+        """May a request be attempted right now?"""
+        if self.state == self.OPEN:
+            assert self.opened_at is not None
+            if self.sim.now - self.opened_at >= self.reset_timeout:
+                self._transition(self.HALF_OPEN)
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state != self.CLOSED:
+            self._transition(self.CLOSED)
+            self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN or (
+                self.state == self.CLOSED
+                and self.consecutive_failures >= self.failure_threshold):
+            self._transition(self.OPEN)
+            self.opened_at = self.sim.now
+
+
+class FailoverPool:
+    """Priority-ordered endpoints, each guarded by a circuit breaker.
+
+    :meth:`pick` returns the first endpoint whose breaker admits a
+    request — the primary while it is healthy, a replica while the
+    primary's breaker is open.  An optional health-check process dials
+    each admissible endpoint on a timer so an open breaker is re-probed
+    (and closed) without waiting for live traffic to gamble on it.
+    """
+
+    def __init__(self, sim: Simulator, endpoints: t.Sequence[Endpoint],
+                 failure_threshold: int = 3,
+                 reset_timeout: float = 30.0) -> None:
+        if not endpoints:
+            raise ValueError("failover pool needs at least one endpoint")
+        self.sim = sim
+        self.endpoints = list(endpoints)
+        self.breakers: t.Dict[Endpoint, CircuitBreaker] = {
+            endpoint: CircuitBreaker(
+                sim, failure_threshold=failure_threshold,
+                reset_timeout=reset_timeout, name=str(endpoint))
+            for endpoint in self.endpoints
+        }
+        self.failovers = 0
+        self.probes_sent = 0
+
+    @property
+    def primary(self) -> Endpoint:
+        return self.endpoints[0]
+
+    def pick(self) -> t.Optional[Endpoint]:
+        """First endpoint whose breaker admits traffic; None if all open."""
+        for endpoint in self.endpoints:
+            if self.breakers[endpoint].allow():
+                if endpoint is not self.primary:
+                    self.failovers += 1
+                return endpoint
+        return None
+
+    def record_success(self, endpoint: Endpoint) -> None:
+        self.breakers[endpoint].record_success()
+
+    def record_failure(self, endpoint: Endpoint) -> None:
+        self.breakers[endpoint].record_failure()
+
+    # -- health checks ---------------------------------------------------------
+
+    def start_health_checks(self, transport: "TransportLayer",
+                            interval: float = 15.0, timeout: float = 3.0,
+                            features=None):
+        """Start the periodic probe process; returns the Process."""
+        return self.sim.process(
+            self._health_loop(transport, interval, timeout, features),
+            name="failover-health")
+
+    def _health_loop(self, transport: "TransportLayer", interval: float,
+                     timeout: float, features):
+        while True:
+            yield self.sim.timeout(interval)
+            for endpoint in self.endpoints:
+                breaker = self.breakers[endpoint]
+                if not breaker.allow():
+                    continue  # open and inside its reset window
+                self.probes_sent += 1
+                try:
+                    conn = yield transport.connect_tcp(
+                        endpoint.address, endpoint.port,
+                        features=features, timeout=timeout)
+                except TransportError:
+                    breaker.record_failure()
+                    continue
+                breaker.record_success()
+                conn.close()

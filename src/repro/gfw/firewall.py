@@ -88,6 +88,37 @@ class GreatFirewall(Middlebox):
         self.flows = FlowTable()
         self.poisoner = DnsPoisoner(sim, policy)
         self.stats = GfwStats()
+        #: Audit log of mid-sim policy changes: (time, label) pairs.
+        self.policy_log: t.List[t.Tuple[float, str]] = []
+
+    # -- mid-sim policy changes --------------------------------------------------------
+
+    def apply_policy(self, mutation: t.Callable[["GreatFirewall"], t.Any],
+                     label: str = "policy-change") -> None:
+        """Apply ``mutation(self)`` now, through the audited path.
+
+        All mid-simulation :class:`GfwConfig`/:class:`BlockPolicy`
+        changes — arms-race escalations, fault scripts, ablations —
+        should go through here (or :meth:`schedule_policy`) so each
+        change lands in ``policy_log`` and the trace.
+        """
+        mutation(self)
+        self.policy_log.append((self.sim.now, label))
+        self._trace_plain("gfw.policy-change", label=label)
+
+    def schedule_policy(self, at: float,
+                        mutation: t.Callable[["GreatFirewall"], t.Any],
+                        label: str = "policy-change"):
+        """Apply ``mutation(self)`` at simulated time ``at``.
+
+        Returns the timer event, so callers can await the change.
+        """
+        from ..errors import SimulationError
+        if at < self.sim.now:
+            raise SimulationError(
+                f"schedule_policy(at={at}) is in the past (now={self.sim.now})")
+        return self.sim.schedule(
+            at - self.sim.now, lambda: self.apply_policy(mutation, label))
 
     # -- middlebox entry point ---------------------------------------------------------
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 import typing as t
 from dataclasses import dataclass, field
 
-from ..errors import ReproError
+from ..errors import HttpError, ReproError, TransportError
 from ..sim import Resource, Simulator
 from .client import Connector, Stream, fetch
 from .messages import HttpRequest, HttpResponse
@@ -71,12 +71,25 @@ class Browser:
         max_per_origin: int = MAX_CONNECTIONS_PER_ORIGIN,
         keepalive: float = KEEPALIVE_SECONDS,
         name: str = "browser",
+        retries: int = 0,
+        retry_backoff: float = 1.0,
+        read_timeout: t.Optional[float] = None,
     ) -> None:
         self.sim = sim
         self.connector = connector
         self.max_per_origin = max_per_origin
         self.keepalive = keepalive
         self.name = name
+        #: Per-object transport retries (0 = a failure fails the load,
+        #: the historical behaviour).  Fault-tolerance experiments turn
+        #: this up so the browser degrades gracefully.
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        #: Response deadline per request (None = wait forever).  Without
+        #: it a stream whose far leg silently blackholes (e.g. a mid-path
+        #: IP block) stalls a load until the fault lifts; with it the
+        #: fetch aborts, the stream is dropped, and the retry dials fresh.
+        self.read_timeout = read_timeout
         #: Optional per-URL connector routing (PAC-style). Receives the
         #: URL, returns a Connector; default routes everything to
         #: ``self.connector``.
@@ -197,15 +210,48 @@ class Browser:
         origin = self._origin_for(connector, host, port, use_tls)
         yield origin.slots.acquire()
         try:
-            stream = yield from self._checkout(origin, connector, host, port,
-                                               use_tls, counters)
-            response = yield from fetch(stream, request)
-            counters["bytes"] += request.size() + response.size()
-            counters["objects"] += 1
-            self._checkin(origin, stream)
-            return response
+            attempt = 0
+            while True:
+                stream: t.Optional[Stream] = None
+                try:
+                    stream = yield from self._checkout(
+                        origin, connector, host, port, use_tls, counters)
+                    response = yield from self._fetch_with_deadline(
+                        stream, request)
+                except (TransportError, HttpError):
+                    if stream is not None:
+                        stream.close()
+                    attempt += 1
+                    if attempt > self.retries:
+                        raise
+                    # Every pooled stream shares the failed path and a
+                    # close may not have propagated yet; drop them all
+                    # so the retry dials fresh.
+                    for idle_stream, _idle_since in origin.idle:
+                        idle_stream.close()
+                    origin.idle.clear()
+                    yield self.sim.timeout(
+                        self.retry_backoff * (2 ** (attempt - 1)))
+                    continue
+                counters["bytes"] += request.size() + response.size()
+                counters["objects"] += 1
+                self._checkin(origin, stream)
+                return response
         finally:
             origin.slots.release()
+
+    def _fetch_with_deadline(self, stream: Stream, request: HttpRequest):
+        if self.read_timeout is None:
+            return (yield from fetch(stream, request))
+        task = self.sim.process(fetch(stream, request),
+                                name=f"fetch:{request.path}")
+        timer = self.sim.timeout(self.read_timeout)
+        yield self.sim.any_of([task, timer])
+        if task.triggered:
+            return task.value
+        task.interrupt("read-deadline")
+        raise TransportError(
+            f"{request.url}: no response within {self.read_timeout:g}s")
 
     def _origin_for(self, connector: Connector, host: str, port: int,
                     use_tls: bool) -> _Origin:

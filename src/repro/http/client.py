@@ -125,7 +125,11 @@ class DirectConnector(Connector):
             return TcpStream(conn, hostname)
         session = TlsSession(conn, sni=hostname)
         resumed = hostname in self.session_tickets
-        yield from session.client_handshake(resumed=resumed)
+        try:
+            yield from session.client_handshake(resumed=resumed)
+        except BaseException:
+            conn.close()  # a failed handshake must not strand the dial
+            raise
         self.session_tickets.add(hostname)
         return TlsStream(session)
 

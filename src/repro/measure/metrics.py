@@ -50,7 +50,9 @@ def summarize(values: t.Iterable[float]) -> Summary:
     if not series:
         raise MeasurementError("cannot summarize an empty series")
     n = len(series)
-    mean = sum(series) / n
+    # Clamp: float summation of near-equal values can land the mean a
+    # ULP outside the sample range (e.g. mean([0.95] * 3) < 0.95).
+    mean = min(max(sum(series) / n, series[0]), series[-1])
     variance = sum((v - mean) ** 2 for v in series) / n if n > 1 else 0.0
     return Summary(
         count=n,
@@ -70,3 +72,65 @@ def loss_rate(dropped: int, sent: int) -> float:
     if sent == 0:
         return 0.0
     return min(1.0, dropped / sent)
+
+
+@dataclass(frozen=True)
+class Availability:
+    """Session availability under faults.
+
+    Computed from a series of timestamped session attempts: the success
+    rate, the number of distinct outages the method recovered from, and
+    the worst observed time-to-recovery (first failure of an outage to
+    the next success; ``inf`` if the series ends mid-outage — the
+    method never came back).
+    """
+
+    attempts: int
+    successes: int
+    recoveries: int
+    worst_time_to_recovery: float
+
+    @property
+    def success_rate(self) -> float:
+        if self.attempts == 0:
+            return 0.0
+        return self.successes / self.attempts
+
+    def __str__(self) -> str:
+        ttr = ("-" if self.worst_time_to_recovery == 0.0
+               else f"{self.worst_time_to_recovery:.1f}s"
+               if math.isfinite(self.worst_time_to_recovery) else "never")
+        return (f"{self.successes}/{self.attempts} "
+                f"({self.success_rate:.0%}), worst TTR {ttr}")
+
+
+def availability(samples: t.Sequence[t.Tuple[float, bool]]) -> Availability:
+    """Fold ``(timestamp, succeeded)`` session samples into Availability.
+
+    Timestamps must be non-decreasing (they come straight out of a
+    simulation run, so they are).
+    """
+    attempts = 0
+    successes = 0
+    recoveries = 0
+    worst_ttr = 0.0
+    outage_started: t.Optional[float] = None
+    last_time: t.Optional[float] = None
+    for when, succeeded in samples:
+        if last_time is not None and when < last_time:
+            raise MeasurementError("availability samples out of order")
+        last_time = when
+        attempts += 1
+        if succeeded:
+            successes += 1
+            if outage_started is not None:
+                recoveries += 1
+                worst_ttr = max(worst_ttr, when - outage_started)
+                outage_started = None
+        elif outage_started is None:
+            outage_started = when
+    if outage_started is not None:
+        worst_ttr = math.inf
+    return Availability(attempts=attempts, successes=successes,
+                        recoveries=recoveries,
+                        worst_time_to_recovery=worst_ttr)

@@ -24,7 +24,8 @@ from ..middleware import (
     ShadowsocksMethod,
     TorMethod,
 )
-from .metrics import Summary, loss_rate, summarize
+from ..faults import FaultSchedule, standard_fault_script
+from .metrics import Availability, Summary, availability, loss_rate, summarize
 from .testbed import ECHO_PORT, SCHOLAR_HOST, Testbed
 
 #: Methods measured in the paper's Figures 5–7.
@@ -236,6 +237,70 @@ def run_direct_us_traffic(seed: int = 0, background: bool = True) -> TrafficResu
     testbed.sim.run(until=start + MEASUREMENT_INTERVAL)
     return TrafficResult("direct-us", capture.bytes_total(),
                          result.connections_opened)
+
+
+# -- Fault matrix: availability under a scripted fault timeline ------------------------
+
+@dataclass
+class AvailabilityResult:
+    """One method's session availability under a fault script."""
+
+    method: str
+    availability: Availability
+    #: Raw ``(started_at, succeeded)`` session samples.
+    samples: t.List[t.Tuple[float, bool]]
+    #: The injector's applied/reverted fault timeline.
+    timeline: t.List[t.Tuple[float, str, str, str]]
+    #: ScholarCloud only: transpacific failovers and exhausted dials.
+    failovers: int = 0
+    dials_failed: int = 0
+
+
+def run_fault_experiment(method: str, attempts: int = 18,
+                         interval: float = 30.0, seed: int = 0,
+                         script: t.Optional[FaultSchedule] = None,
+                         remote_replicas: int = 1,
+                         retries: int = 1,
+                         read_timeout: float = 20.0) -> AvailabilityResult:
+    """Repeated page-load sessions while a fault script runs.
+
+    Every method faces the same timeline (same seed → byte-identical
+    faults); the browser is configured with one transport retry and a
+    response deadline so transient failures are absorbed rather than
+    stalled through, and the testbed carries ``remote_replicas``
+    standby remote VMs for methods that can use them (ScholarCloud's
+    failover pool).
+    """
+    world = prepare(method, seed=seed, remote_replicas=remote_replicas)
+    testbed = world.testbed
+    browser = Browser(testbed.sim, world.method.connector(),
+                      name=f"fault-{method}", retries=retries,
+                      read_timeout=read_timeout)
+    if script is None:
+        script = standard_fault_script(testbed.rng.stream("faults.schedule"))
+    injector = script.install(testbed)
+    samples: t.List[t.Tuple[float, bool]] = []
+
+    def driver(sim):
+        for _ in range(attempts):
+            result = yield sim.process(browser.load(testbed.scholar_page))
+            samples.append((round(result.started_at, 6), result.succeeded))
+            yield sim.timeout(interval)
+
+    testbed.run_process(driver(testbed.sim), name=f"faults:{method}")
+    failovers = dials_failed = 0
+    domestic = getattr(world.method, "domestic", None)
+    if domestic is not None:
+        failovers = domestic.pool.failovers
+        dials_failed = domestic.dials_failed
+    return AvailabilityResult(
+        method=method,
+        availability=availability(samples),
+        samples=samples,
+        timeline=list(injector.timeline),
+        failovers=failovers,
+        dials_failed=dials_failed,
+    )
 
 
 # -- Figure 7: scalability --------------------------------------------------------------------------

@@ -65,6 +65,7 @@ class Testbed:
         pacific_one_way: float = ms(75),
         extra_clients: int = 0,
         gfw_enabled: bool = True,
+        remote_replicas: int = 0,
     ) -> None:
         self.sim = Simulator(seed=seed)
         self.rng = self.sim.rng
@@ -112,6 +113,15 @@ class Testbed:
         net.connect(self.border_us, self.us_core, latency=ms(5), bandwidth=Mbps(1000))
         net.connect(self.us_core, self.remote_vm, latency=ms(2), bandwidth=Mbps(100),
                     loss=0.0002)
+
+        # -- replica remote VMs (failover targets; none by default) ---------------
+        self.remote_vms: t.List[Host] = [self.remote_vm]
+        for index in range(remote_replicas):
+            replica = net.add_host(f"remote-vm-{index + 2}",
+                                   address=f"47.88.1.{101 + index}")
+            net.connect(replica, self.us_core, latency=ms(2),
+                        bandwidth=Mbps(100), loss=0.0002)
+            self.remote_vms.append(replica)
         net.connect(self.us_core, self.scholar_origin, latency=ms(2),
                     bandwidth=Mbps(1000))
         net.connect(self.us_core, self.google_dns, latency=ms(2), bandwidth=Mbps(1000))
@@ -131,9 +141,9 @@ class Testbed:
 
         # -- transports -------------------------------------------------------------
         for host in [self.client, self.campus_dns, self.domestic_vm,
-                     self.prober_host, self.remote_vm, self.scholar_origin,
+                     self.prober_host, self.scholar_origin,
                      self.google_dns, self.control_site, self.domestic_site,
-                     self.cn_dns] + self.extra_clients:
+                     self.cn_dns] + self.remote_vms + self.extra_clients:
             install_transport(self.sim, host)
 
         # -- DNS ----------------------------------------------------------------------
@@ -177,6 +187,10 @@ class Testbed:
         # component submits its CPU demand here (Figure 7's bottleneck).
         self.remote_cpu = ProcessorSharingServer(self.sim, capacity=1.0,
                                                  name="remote-vm-cpu")
+        self.remote_cpus: t.List[ProcessorSharingServer] = [self.remote_cpu]
+        for replica in self.remote_vms[1:]:
+            self.remote_cpus.append(ProcessorSharingServer(
+                self.sim, capacity=1.0, name=f"{replica.name}-cpu"))
         self.domestic_cpu = ProcessorSharingServer(self.sim, capacity=1.0,
                                                    name="domestic-vm-cpu")
         _install_echo(self.sim, self.transport_of(self.scholar_origin))

@@ -91,14 +91,19 @@ class WebProxyConnector(Connector):
                                   plaintext=f"GET http://{hostname}/",
                                   entropy=4.2),
             timeout=30.0)
-        conn.send_message(
-            64, meta=("wp-connect", hostname, port),
-            features=WireFeatures(protocol_tag="plain-http",
-                                  plaintext=f"CONNECT {hostname}",
-                                  entropy=4.2))
-        reply = yield conn.recv_message()
-        if reply != ("wp-ready",):
-            raise MiddlewareError(f"web proxy refused {hostname}: {reply!r}")
+        try:
+            conn.send_message(
+                64, meta=("wp-connect", hostname, port),
+                features=WireFeatures(protocol_tag="plain-http",
+                                      plaintext=f"CONNECT {hostname}",
+                                      entropy=4.2))
+            reply = yield conn.recv_message()
+            if reply != ("wp-ready",):
+                raise MiddlewareError(
+                    f"web proxy refused {hostname}: {reply!r}")
+        except BaseException:
+            conn.close()  # a refused or dead gateway must not strand the dial
+            raise
         channel = _WebProxyChannel(
             testbed.sim, conn, overhead=24,
             features=WireFeatures(protocol_tag="plain-http",

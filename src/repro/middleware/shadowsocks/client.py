@@ -63,7 +63,11 @@ class SsLocal:
         conn = yield transport.connect_tcp(
             self.server_addr, self.port, features=auth_features(),
             timeout=30.0)
-        yield from self._auth_on(conn)
+        try:
+            yield from self._auth_on(conn)
+        except BaseException:
+            conn.close()  # failed auth must not strand the dial
+            raise
         self.auth_rounds += 1
         # The session connection idles server-side as the keep-alive
         # anchor; we don't need to hold it here.
@@ -103,14 +107,18 @@ class SsLocal:
         conn = yield transport.connect_tcp(
             self.server_addr, self.port, features=data_features(),
             timeout=30.0)
-        yield from self._auth_on(conn)
-        frame_features = first_frame_features(self.password, hostname, port)
-        frame_length = frame_features.length_signature or 38
-        conn.send_message(frame_length, meta=("ss-connect", hostname, port),
-                          features=frame_features)
-        ready = yield conn.recv_message()
-        if ready != ("ss-ready",):
-            raise MiddlewareError(f"shadowsocks relay refused: {ready!r}")
+        try:
+            yield from self._auth_on(conn)
+            frame_features = first_frame_features(self.password, hostname, port)
+            frame_length = frame_features.length_signature or 38
+            conn.send_message(frame_length, meta=("ss-connect", hostname, port),
+                              features=frame_features)
+            ready = yield conn.recv_message()
+            if ready != ("ss-ready",):
+                raise MiddlewareError(f"shadowsocks relay refused: {ready!r}")
+        except BaseException:
+            conn.close()  # failed relay open must not strand the dial
+            raise
         self.streams_opened += 1
         self.touch()
         return RelayedChannel(self.testbed.sim, conn, overhead=0,
@@ -132,7 +140,11 @@ class SsConnector(Connector):
             return ChannelStream(channel)
         session = TlsSession(channel, sni=hostname)
         resumed = hostname in self.session_tickets
-        yield from session.client_handshake(resumed=resumed)
+        try:
+            yield from session.client_handshake(resumed=resumed)
+        except BaseException:
+            channel.close()  # a failed handshake must not strand the relay
+            raise
         self.session_tickets.add(hostname)
         return TlsStream(session)
 

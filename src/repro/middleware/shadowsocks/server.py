@@ -20,7 +20,7 @@ from __future__ import annotations
 import typing as t
 
 from ...dns import StubResolver
-from ...errors import NameResolutionError, TransportError
+from ...errors import MiddlewareError, NameResolutionError, TransportError
 from ...sim import ProcessorSharingServer, Simulator
 from ...transport import TcpConnection, TransportLayer
 from ..base import estimate_meta_length, unwrap_forward, wrap_forward
@@ -178,8 +178,8 @@ class SsServer:
                 return
             try:
                 length, meta = unwrap_forward(message)
-            except Exception:
-                continue
+            except MiddlewareError:
+                continue  # malformed frame from the client: drop it
             self._touch(client)
             yield self.cpu.submit(PER_BYTE_DEMAND * length)
             try:

@@ -122,7 +122,14 @@ class TorConnector(Connector):
             return ChannelStream(channel)
         session = TlsSession(channel, sni=hostname)
         resumed = hostname in self.session_tickets
-        yield from session.client_handshake(resumed=resumed)
+        try:
+            yield from session.client_handshake(resumed=resumed)
+        except BaseException:
+            try:
+                channel.close()
+            except (MiddlewareError, TransportError):
+                pass  # circuit already down: nothing left to END
+            raise
         self.session_tickets.add(hostname)
         return TlsStream(session)
 
@@ -168,36 +175,44 @@ class TorMethod(AccessMethod):
             features=WireFeatures(protocol_tag="tls", sni=FRONT_DOMAIN,
                                   entropy=7.9),
             timeout=60.0)
-        tls = TlsSession(conn, sni=FRONT_DOMAIN)
-        yield from tls.client_handshake()
-        self.meek = MeekChannel(testbed.sim, tls,
-                                poll_interval=self.poll_interval)
-        testbed.sim.process(self._demux_loop(), name="tor-demux")
+        try:
+            tls = TlsSession(conn, sni=FRONT_DOMAIN)
+            yield from tls.client_handshake()
+            self.meek = MeekChannel(testbed.sim, tls,
+                                    poll_interval=self.poll_interval)
+            testbed.sim.process(self._demux_loop(), name="tor-demux")
 
-        # 2. Circuit: CREATE to the bridge, EXTEND twice.
-        self.circuit_id = next(_circuit_ids)
-        self.meek.send_message(
-            cells.CELL_SIZE, meta=cells.make_cell(self.circuit_id, cells.CREATE))
-        yield self._wait_control(cells.CREATED)
-        network = self.network
-        assert network is not None
-        for next_hop in (network.middle_host.address,
-                         network.exit_host.address):
+            # 2. Circuit: CREATE to the bridge, EXTEND twice.
+            self.circuit_id = next(_circuit_ids)
             self.meek.send_message(
                 cells.CELL_SIZE,
-                meta=cells.make_cell(self.circuit_id, cells.EXTEND,
-                                     {"next": str(next_hop), "length": 84}))
-            yield self._wait_control(cells.EXTENDED)
+                meta=cells.make_cell(self.circuit_id, cells.CREATE))
+            yield self._wait_control(cells.CREATED)
+            network = self.network
+            assert network is not None
+            for next_hop in (network.middle_host.address,
+                             network.exit_host.address):
+                self.meek.send_message(
+                    cells.CELL_SIZE,
+                    meta=cells.make_cell(self.circuit_id, cells.EXTEND,
+                                         {"next": str(next_hop), "length": 84}))
+                yield self._wait_control(cells.EXTENDED)
 
-        # 3. Directory fetch (microdescriptor consensus) through the
-        #    fresh circuit — the bulk of Tor's first-time cost.
-        directory = yield from self.open_stream("directory.torproject.internal",
-                                                80, internal=True)
-        directory.send_message(300, meta=("dir-request",))
-        reply = yield directory.recv_message()
-        if not (isinstance(reply, tuple) and reply[0] == "dir-response"):
-            raise MiddlewareError(f"directory fetch failed: {reply!r}")
-        directory.close()
+            # 3. Directory fetch (microdescriptor consensus) through the
+            #    fresh circuit — the bulk of Tor's first-time cost.
+            directory = yield from self.open_stream(
+                "directory.torproject.internal", 80, internal=True)
+            directory.send_message(300, meta=("dir-request",))
+            reply = yield directory.recv_message()
+            if not (isinstance(reply, tuple) and reply[0] == "dir-response"):
+                raise MiddlewareError(f"directory fetch failed: {reply!r}")
+            directory.close()
+        except BaseException:
+            # A failed bootstrap must not strand the meek connection.
+            if self.meek is not None:
+                self.meek.close()
+            conn.close()
+            raise
 
         self.bootstrap_time = testbed.sim.now - started
         self.connected = True

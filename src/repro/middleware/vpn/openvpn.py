@@ -71,12 +71,16 @@ class OpenVpn(AccessMethod):
         control = yield client_transport.connect_tcp(
             server_host.address, OPENVPN_PORT,
             features=openvpn_features(), timeout=30.0)
-        session = TlsSession(control, sni=None)
-        yield from session.client_handshake()
-        session.send(120, meta=("openvpn", "push-request"))
-        pushed = yield session.recv()
-        if not (isinstance(pushed, tuple) and pushed[0] == "openvpn"):
-            raise TunnelError(f"OpenVPN push failed: {pushed!r}")
+        try:
+            session = TlsSession(control, sni=None)
+            yield from session.client_handshake()
+            session.send(120, meta=("openvpn", "push-request"))
+            pushed = yield session.recv()
+            if not (isinstance(pushed, tuple) and pushed[0] == "openvpn"):
+                raise TunnelError(f"OpenVPN push failed: {pushed!r}")
+        except BaseException:
+            control.close()  # a failed handshake must not strand the dial
+            raise
         self.handshake_time = testbed.sim.now - started
 
         self.server = VpnTunnelServer(
@@ -116,10 +120,14 @@ class OpenVpn(AccessMethod):
         control = yield transport.connect_tcp(
             testbed.remote_vm.address, OPENVPN_PORT,
             features=openvpn_features(), timeout=30.0)
-        session = TlsSession(control, sni=None)
-        yield from session.client_handshake()
-        session.send(120, meta=("openvpn", "push-request"))
-        yield session.recv()
+        try:
+            session = TlsSession(control, sni=None)
+            yield from session.client_handshake()
+            session.send(120, meta=("openvpn", "push-request"))
+            yield session.recv()
+        except BaseException:
+            control.close()  # a failed handshake must not strand the dial
+            raise
         self.server.attach_client(host.address)
         prefixes = self.routed_prefixes + [Prefix(f"{GOOGLE_DNS_ADDR}/32")]
         VpnTunnelClient(

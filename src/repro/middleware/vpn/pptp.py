@@ -82,14 +82,18 @@ class NativeVpn(AccessMethod):
             features=WireFeatures(protocol_tag="pptp-gre", handshake=True,
                                   entropy=3.0),
             timeout=30.0)
-        control.send_message(156, meta=("pptp", "start-control-request"))
-        reply = yield control.recv_message()
-        if reply != ("pptp", "start-control-reply"):
-            raise TunnelError(f"PPTP control setup failed: {reply!r}")
-        control.send_message(168, meta=("pptp", "outgoing-call-request"))
-        reply = yield control.recv_message()
-        if reply != ("pptp", "outgoing-call-reply"):
-            raise TunnelError(f"PPTP call setup failed: {reply!r}")
+        try:
+            control.send_message(156, meta=("pptp", "start-control-request"))
+            reply = yield control.recv_message()
+            if reply != ("pptp", "start-control-reply"):
+                raise TunnelError(f"PPTP control setup failed: {reply!r}")
+            control.send_message(168, meta=("pptp", "outgoing-call-request"))
+            reply = yield control.recv_message()
+            if reply != ("pptp", "outgoing-call-reply"):
+                raise TunnelError(f"PPTP call setup failed: {reply!r}")
+        except BaseException:
+            control.close()  # a failed call setup must not strand the dial
+            raise
 
         self.server = VpnTunnelServer(
             testbed.sim, server_host, self.protocol, self.overhead,
@@ -121,8 +125,12 @@ class NativeVpn(AccessMethod):
             features=WireFeatures(protocol_tag="pptp-gre", handshake=True,
                                   entropy=3.0),
             timeout=30.0)
-        control.send_message(156, meta=("pptp", "start-control-request"))
-        yield control.recv_message()
+        try:
+            control.send_message(156, meta=("pptp", "start-control-request"))
+            yield control.recv_message()
+        except BaseException:
+            control.close()  # a failed call setup must not strand the dial
+            raise
         self.server.attach_client(host.address)
         VpnTunnelClient(
             testbed.sim, host, testbed.remote_vm.address,

@@ -71,6 +71,8 @@ class Link:
         self.rng = rng if rng is not None else sim.rng.stream("link.loss")
         self.name = name or f"{a.name}<->{b.name}"
         self.trace = trace
+        #: Administrative state; a downed link drops every packet.
+        self.up = True
         self.middleboxes: t.List[Middlebox] = []
         # Per-direction FIFO serialization horizon.
         self._busy_until: t.Dict[str, float] = {a.name: 0.0, b.name: 0.0}
@@ -93,6 +95,30 @@ class Link:
         """Attach an inspector to this link (both directions)."""
         self.middleboxes.append(middlebox)
 
+    # -- fault injection -----------------------------------------------------
+
+    def set_up(self, up: bool) -> None:
+        """Flap the link; packets in flight are unaffected, new ones drop."""
+        self.up = up
+        if self.trace is not None:
+            self.trace.emit("link.admin", link=self.name,
+                            state="up" if up else "down")
+
+    def set_conditions(self, loss: t.Optional[float] = None,
+                       latency: t.Optional[float] = None) -> None:
+        """Audited mid-sim change of loss and/or latency (degradation)."""
+        if loss is not None:
+            if not 0.0 <= loss < 1.0:
+                raise NetworkError(f"loss must be in [0,1): {loss}")
+            self.loss = loss
+        if latency is not None:
+            if latency < 0:
+                raise NetworkError(f"negative latency: {latency}")
+            self.latency = latency
+        if self.trace is not None:
+            self.trace.emit("link.conditions", link=self.name,
+                            loss=self.loss, latency=self.latency)
+
     # -- data path -----------------------------------------------------------
 
     def transmit(self, packet: Packet, sender: "Node") -> None:
@@ -101,6 +127,10 @@ class Link:
         direction = Direction(sender.name, receiver.name)
         self.bytes_sent[sender.name] += packet.size
         self.packets_sent[sender.name] += 1
+
+        if not self.up:
+            self._record_drop(packet, direction, reason="link-down")
+            return
 
         for middlebox in self.middleboxes:
             verdict = middlebox.process(packet, direction, self)

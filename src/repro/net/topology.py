@@ -125,6 +125,13 @@ class Network:
                 return link
         raise NetworkError(f"no link between {node_a.name} and {node_b.name}")
 
+    def link_by_name(self, name: str) -> Link:
+        """Find a link by its ``name=`` label (fault injection targets)."""
+        for link in self.links:
+            if link.name == name:
+                return link
+        raise NetworkError(f"no link named {name!r}")
+
     # -- routing ----------------------------------------------------------------
 
     def build_routes(self) -> None:

@@ -98,6 +98,34 @@ class TransportLayer:
         self._connections.pop(
             (conn.local_port, str(conn.remote_addr), conn.remote_port), None)
 
+    # -- crash/restart (fault injection) ------------------------------------------
+
+    def crash(self) -> t.Dict[str, t.Any]:
+        """Kill every service on this host, as a process crash would.
+
+        Established connections are aborted (peers see RSTs), listeners
+        and UDP handlers vanish (new dials are refused).  Returns the
+        snapshot :meth:`restore` needs to model the service restarting.
+        """
+        snapshot = {
+            "tcp_listeners": dict(self._tcp_listeners),
+            "udp_handlers": dict(self._udp_handlers),
+        }
+        for conn in list(self._connections.values()):
+            conn.abort()
+        self._tcp_listeners.clear()
+        self._udp_handlers.clear()
+        return snapshot
+
+    def restore(self, snapshot: t.Dict[str, t.Any]) -> None:
+        """Re-register the listeners captured by :meth:`crash`."""
+        for port, acceptor in snapshot["tcp_listeners"].items():
+            if port not in self._tcp_listeners:
+                self._tcp_listeners[port] = acceptor
+        for port, handler in snapshot["udp_handlers"].items():
+            if port not in self._udp_handlers:
+                self._udp_handlers[port] = handler
+
     # -- UDP ------------------------------------------------------------------------
 
     def listen_udp(self, port: int, handler: UdpHandler) -> None:

@@ -357,3 +357,79 @@ def test_findings_are_jsonable_and_sorted():
     assert [f.line for f in findings] == sorted(f.line for f in findings)
     payload = findings[0].to_dict()
     assert set(payload) == {"rule", "severity", "path", "line", "col", "message"}
+
+
+# -- silent-except -------------------------------------------------------------------
+
+def test_silent_except_pass_flagged():
+    findings = lint("""
+        def pump():
+            try:
+                step()
+            except Exception:
+                pass
+    """)
+    assert rule_ids(findings) == ["silent-except"]
+
+
+def test_silent_bare_except_flagged():
+    findings = lint("""
+        def pump():
+            try:
+                step()
+            except:
+                return None
+    """)
+    assert rule_ids(findings) == ["silent-except"]
+
+
+def test_silent_except_in_tuple_flagged():
+    findings = lint("""
+        def pump():
+            for item in items:
+                try:
+                    step(item)
+                except (ValueError, Exception):
+                    continue
+    """)
+    assert rule_ids(findings) == ["silent-except"]
+
+
+def test_narrow_except_not_flagged():
+    assert lint("""
+        def pump():
+            try:
+                step()
+            except ValueError:
+                pass
+    """) == []
+
+
+def test_handled_broad_except_not_flagged():
+    assert lint("""
+        def pump():
+            try:
+                step()
+            except Exception as exc:
+                log(exc)
+                raise
+    """) == []
+
+
+def test_silent_except_exempt_in_analysis():
+    assert lint("""
+        try:
+            step()
+        except Exception:
+            pass
+    """, module="repro.analysis.fixture") == []
+
+
+def test_silent_except_suppression_comment():
+    findings = lint("""
+        try:
+            step()
+        except Exception:  # reprolint: disable=silent-except
+            pass
+    """)
+    assert findings == []
