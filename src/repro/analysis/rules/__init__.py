@@ -12,7 +12,7 @@ from .determinism import (
     WallClockRule,
 )
 from .process import UninvokedProcessRule, YieldLiteralRule
-from .robustness import SilentExceptRule
+from .robustness import SilentExceptRule, UnboundedQueueRule
 from .sim_safety import REALNET_EXEMPT, BlockingCallRule, ForbiddenImportRule
 
 _ALL_RULES: t.Tuple[t.Type[Rule], ...] = (
@@ -26,6 +26,7 @@ _ALL_RULES: t.Tuple[t.Type[Rule], ...] = (
     UninvokedProcessRule,
     YieldLiteralRule,
     SilentExceptRule,
+    UnboundedQueueRule,
 )
 
 RULES: t.Dict[str, t.Type[Rule]] = {rule.id: rule for rule in _ALL_RULES}
@@ -48,6 +49,7 @@ __all__ = [
     "SeededRandomRule",
     "SilentExceptRule",
     "StrBytesMixingRule",
+    "UnboundedQueueRule",
     "UninvokedProcessRule",
     "WallClockRule",
     "YieldLiteralRule",

@@ -63,3 +63,85 @@ class SilentExceptRule(Rule):
                         "error type (TransportError, MiddlewareError, ...) "
                         "or handle the failure observably")
         self.generic_visit(node)
+
+
+#: Container-growth calls that make a queue, applied to anything.
+_GROWTH_METHODS = frozenset({"append", "appendleft", "extend", "put"})
+#: Constructor names whose result is a fresh (empty) container.
+_FRESH_CONSTRUCTORS = frozenset({"list", "deque", "dict", "set"})
+
+
+def _is_infinite_loop(node: ast.While) -> bool:
+    return isinstance(node.test, ast.Constant) and bool(node.test.value)
+
+
+def _fresh_container_names(loop: ast.While) -> t.Set[str]:
+    """Names (re)bound to a fresh container inside the loop body.
+
+    A batch list rebuilt every iteration (``downstream = []`` at the
+    top of the loop) is bounded by the iteration's work, not by the
+    connection's lifetime — growing it is fine.
+    """
+    names: t.Set[str] = set()
+    for statement in ast.walk(loop):
+        if not isinstance(statement, ast.Assign):
+            continue
+        value = statement.value
+        fresh = isinstance(value, (ast.List, ast.Dict, ast.Set))
+        if (isinstance(value, ast.Call) and isinstance(value.func, ast.Name)
+                and value.func.id in _FRESH_CONSTRUCTORS):
+            fresh = True
+        if not fresh:
+            continue
+        for target in statement.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+class UnboundedQueueRule(Rule):
+    """No unbounded accumulation inside forever-loops on wire paths.
+
+    A ``while True:`` pump that ``.append``s/``.put``s into a
+    long-lived container with no capacity check is an overload bug
+    waiting for Figure 7's right-hand side: memory and queueing delay
+    grow without limit exactly when the system is saturated.  Use
+    :class:`repro.overload.BoundedQueue`, a ``deque(maxlen=...)``, or
+    suppress with a comment saying what genuinely bounds the growth.
+    """
+
+    id = "unbounded-queue"
+    description = ("container growth inside an infinite loop on a wire "
+                   "path; bound it (repro.overload.BoundedQueue, "
+                   "deque(maxlen=...)) or justify the bound in a "
+                   "suppression comment")
+    default_scope = ("repro.core", "repro.middleware", "repro.transport",
+                     "repro.net")
+
+    def __init__(self, *args: t.Any, **kwargs: t.Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._loop_locals: t.List[t.Set[str]] = []
+
+    def visit_While(self, node: ast.While) -> None:
+        if not _is_infinite_loop(node):
+            self.generic_visit(node)
+            return
+        self._loop_locals.append(_fresh_container_names(node))
+        self.generic_visit(node)
+        self._loop_locals.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (self._loop_locals
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _GROWTH_METHODS
+                and not self._is_per_iteration(node.func.value)):
+            self.report(node,
+                        f".{node.func.attr}() grows a container inside an "
+                        "infinite loop with no bound; overload turns this "
+                        "into unbounded memory and queueing delay")
+        self.generic_visit(node)
+
+    def _is_per_iteration(self, receiver: ast.expr) -> bool:
+        if not isinstance(receiver, ast.Name):
+            return False
+        return any(receiver.id in names for names in self._loop_locals)

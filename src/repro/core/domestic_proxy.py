@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import typing as t
 
-from ..errors import MiddlewareError, TransportError
+from ..errors import MiddlewareError, OverloadError, TransportError
 from ..faults import Endpoint, FailoverPool, RetryPolicy
 from ..net import IPv4Address
+from ..overload import AdmissionController, Deadline, OverloadConfig, deadline_from_wire
 from ..sim import ProcessorSharingServer, Simulator
 from ..transport import TcpConnection, TransportLayer
 from ..middleware.base import unwrap_forward, wrap_forward
@@ -60,6 +61,7 @@ class DomesticProxy:
         remote_addrs: t.Optional[t.Sequence[t.Union[str, IPv4Address]]] = None,
         dial_timeout: float = DIAL_TIMEOUT,
         retry: t.Optional[RetryPolicy] = None,
+        overload: t.Optional[OverloadConfig] = None,
     ) -> None:
         if whitelist is None or agility is None or cpu is None:
             raise TypeError(
@@ -89,6 +91,12 @@ class DomesticProxy:
         self.streams_served = 0
         self.refused = 0
         self.dials_failed = 0
+        self.deadline_drops = 0
+        #: Session admission (None = historical unbounded behaviour).
+        self.admission: t.Optional[AdmissionController] = None
+        if overload is not None:
+            self.admission = AdmissionController(sim, overload,
+                                                 name="sc-domestic")
         transport = t.cast(TransportLayer, host.transport)
         transport.listen_tcp(port, self._accept)
         # With replicas available, probe them so a dead primary's
@@ -109,10 +117,12 @@ class DomesticProxy:
             first = yield conn.recv_message()
         except TransportError:
             return
-        if not (isinstance(first, tuple) and first and first[0] == "sc-connect"):
+        if not (isinstance(first, tuple) and len(first) in (3, 4)
+                and first[0] == "sc-connect"):
             conn.close()
             return
-        _tag, hostname, target_port = first
+        hostname, target_port = first[1], first[2]
+        deadline = deadline_from_wire(first[3] if len(first) == 4 else None)
         if not self.whitelist.allows(hostname):
             # §3: traffic for non-whitelisted services is not touched;
             # a direct proxy request for one is refused outright.
@@ -120,49 +130,122 @@ class DomesticProxy:
             conn.send_message(32, meta=("sc-refused", hostname))
             conn.close()
             return
+        priority = self.whitelist.priority_of(hostname)
+        source = str(conn.remote_addr)
+        if deadline is not None and deadline.expired(self.sim.now):
+            # The browser already gave up; answering would be pure waste.
+            self.deadline_drops += 1
+            if self.admission is not None:
+                self.admission.record_expired(source, priority)
+            self._reject(conn, "expired")
+            return
+        session: t.Optional[str] = None
+        if self.admission is not None:
+            try:
+                yield from self.admission.admit(source, priority,
+                                                deadline=deadline)
+            except OverloadError:
+                self._reject(conn, "shed")
+                return
+            session = source
+            if deadline is not None and deadline.expired(self.sim.now):
+                # Expired while queued in the waiting room.
+                self.deadline_drops += 1
+                self.admission.record_expired(source, priority)
+                self.admission.release(source, succeeded=False)
+                self._reject(conn, "expired")
+                return
         yield self.cpu.submit(CONNECT_DEMAND)
         # Optimistic pipelining: acknowledge the browser immediately
         # and queue its frames while the transpacific leg dials, so a
         # stream open costs one Pacific round trip less than a naive
         # connect-then-confirm design.
         self.streams_served += 1
-        conn.send_message(16, meta=("sc-ready",))
-        remote = yield from self._dial_remote()
+        try:
+            conn.send_message(16, meta=("sc-ready",))
+        except TransportError:
+            conn.close()
+            self._release(session, succeeded=False)
+            return
+        remote = yield from self._dial_remote(deadline)
         if remote is None:
             conn.close()
+            self._release(session, succeeded=False)
             return
         codec = self.agility.codec
         open_length = 24 + codec.pad_length(24)
-        remote.send_message(
-            open_length,
-            meta=blind_wrap(self.agility.epoch, 24,
-                            ("sc-open", hostname, target_port)),
-            features=codec.features())
-        self.sim.process(self._pump_to_remote(conn, remote), name="scd-up")
-        self.sim.process(self._pump_to_browser(conn, remote), name="scd-down")
+        open_meta: t.Tuple = ("sc-open", hostname, target_port)
+        if deadline is not None:
+            open_meta = open_meta + (deadline.at,)
+        try:
+            remote.send_message(
+                open_length,
+                meta=blind_wrap(self.agility.epoch, 24, open_meta),
+                features=codec.features())
+        except TransportError:
+            remote.close()
+            conn.close()
+            self._release(session, succeeded=False)
+            return
+        up = self.sim.process(self._pump_to_remote(conn, remote),
+                              name="scd-up")
+        self.sim.process(self._pump_to_browser(conn, remote),
+                         name="scd-down")
+        if session is not None:
+            # The session's slot frees when the browser-facing pump is
+            # done — the moment the browser connection delivers EOF or
+            # fails.  Not both pumps: the remote-facing one can linger
+            # on a half-closed transpacific conn whose peer only FINs
+            # back once the whole relay chain unwinds, and admission
+            # counts browser connections, not transpacific ones.
+            up.add_callback(
+                lambda _event, s=session: self.admission.release(s))
+
+    def _reject(self, conn: TcpConnection, reason: str) -> None:
+        """Fast 503-style rejection: tell the browser, then hang up."""
+        try:
+            conn.send_message(32, meta=("sc-overload", reason))
+        except TransportError:
+            pass
+        conn.close()
+
+    def _release(self, session: t.Optional[str], succeeded: bool) -> None:
+        if session is not None:
+            assert self.admission is not None
+            self.admission.release(session, succeeded=succeeded)
 
     # -- transpacific dialing -----------------------------------------------------------------
 
-    def _dial_remote(self):
+    def _dial_remote(self, deadline: t.Optional[Deadline] = None):
         """Open a blinded connection to a healthy remote proxy.
 
         Retries with capped jittered backoff; each attempt asks the
         failover pool for the highest-priority endpoint whose breaker
         admits traffic.  Returns None only once every attempt across
-        every admissible endpoint has failed.
+        every admissible endpoint has failed — or, with a request
+        deadline, once the next attempt could not finish in time.
         """
         transport = t.cast(TransportLayer, self.host.transport)
-        for delay in self.retry.delays():
+        if deadline is None:
+            attempt_delays = self.retry.delays()
+        else:
+            attempt_delays = self.retry.delays(
+                clock=lambda: self.sim.now, deadline=deadline.at)
+        dialed_timeout = self.dial_timeout
+        for delay in attempt_delays:
             if delay > 0.0:
                 yield self.sim.timeout(delay)
             endpoint = self.pool.pick()
             if endpoint is None:
                 continue  # every breaker open; back off and re-ask
+            if deadline is not None:
+                dialed_timeout = deadline.clamp(self.dial_timeout,
+                                                self.sim.now)
             try:
                 conn = yield transport.connect_tcp(
                     endpoint.address, endpoint.port,
                     features=self.agility.codec.features(),
-                    timeout=self.dial_timeout)
+                    timeout=dialed_timeout)
             except TransportError:
                 self.pool.record_failure(endpoint)
                 continue

@@ -16,6 +16,7 @@ import typing as t
 
 from ..dns import StubResolver
 from ..errors import MiddlewareError, NameResolutionError, TransportError
+from ..overload import BoundedQueue, ConcurrencyLimiter, OverloadConfig, deadline_from_wire
 from ..sim import ProcessorSharingServer, Simulator
 from ..transport import TcpConnection, TransportLayer
 from ..middleware.base import estimate_meta_length, unwrap_forward, wrap_forward
@@ -58,6 +59,7 @@ class RemoteProxy:
         cpu: ProcessorSharingServer,
         agility: BlindingAgility,
         port: int = REMOTE_PROXY_PORT,
+        overload: t.Optional[OverloadConfig] = None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -67,11 +69,51 @@ class RemoteProxy:
         self.port = port
         self.streams_opened = 0
         self.decoys_served = 0
+        self.streams_shed = 0
+        self.deadline_drops = 0
+        self.overload = overload
+        #: In-flight stream cap; shedding keeps a saturated CPU serving
+        #: the admitted streams fast instead of everyone slowly.
+        self.limiter: t.Optional[ConcurrencyLimiter] = None
+        #: Accept backlog: connections accepted but not yet dispatched.
+        self.backlog: t.Optional[BoundedQueue] = None
+        if overload is not None and overload.remote_max_streams is not None:
+            self.limiter = ConcurrencyLimiter(
+                sim, overload.remote_max_streams, name="sc-remote-streams")
+        if overload is not None and overload.remote_backlog is not None:
+            self.backlog = BoundedQueue(sim, overload.remote_backlog,
+                                        name="sc-remote-backlog")
+            sim.process(self._dispatch(), name="sc-remote-dispatch")
         transport = t.cast(TransportLayer, host.transport)
         transport.listen_tcp(port, self._accept)
 
     def _accept(self, conn: TcpConnection) -> None:
+        if self.backlog is not None:
+            if not self.backlog.offer(conn):
+                self.streams_shed += 1
+                self.sim.process(self._serve_decoy(conn),
+                                 name="sc-remote-reject")
+            return
         self.sim.process(self._serve(conn), name="sc-remote")
+
+    def _dispatch(self):
+        """Drain the accept backlog (only runs when a backlog exists)."""
+        while True:
+            conn = yield self.backlog.get()
+            self.sim.process(self._serve(conn), name="sc-remote")
+
+    def _serve_decoy(self, conn: TcpConnection):
+        """Overflowed accept: answer like an overloaded web server.
+
+        Reading the first frame before replying keeps the reject
+        indistinguishable from the decoy path a prober sees.
+        """
+        try:
+            yield conn.recv_message()
+            conn.send_message(480, meta=("http-503", "Service Unavailable"))
+        except TransportError:
+            pass
+        conn.close()
 
     def _serve(self, conn: TcpConnection):
         try:
@@ -80,6 +122,7 @@ class RemoteProxy:
             return
         opened = blind_unwrap(first, self.agility.epoch)
         if opened is None or not (isinstance(opened[1], tuple)
+                                  and len(opened[1]) in (3, 4)
                                   and opened[1][0] == "sc-open"):
             # Garbage, probe, or stale epoch: answer like a web server.
             self.decoys_served += 1
@@ -89,25 +132,71 @@ class RemoteProxy:
                 pass
             conn.close()
             return
-        _tag, hostname, target_port = opened[1]
+        hostname, target_port = opened[1][1], opened[1][2]
+        deadline = deadline_from_wire(
+            opened[1][3] if len(opened[1]) == 4 else None)
+        if deadline is not None and deadline.expired(self.sim.now):
+            # Nobody is waiting for this answer any more; don't spend
+            # CPU or a target dial on it.
+            self.deadline_drops += 1
+            self._send_error(conn)
+            conn.close()
+            return
+        admitted = False
+        if self.limiter is not None:
+            if not self.limiter.try_acquire():
+                self.streams_shed += 1
+                self._send_error(conn)
+                conn.close()
+                return
+            admitted = True
         yield self.cpu.submit(CONNECT_DEMAND)
         transport = t.cast(TransportLayer, self.host.transport)
+        dial_timeout = (30.0 if deadline is None
+                        else deadline.clamp(30.0, self.sim.now))
+        target: t.Optional[TcpConnection] = None
         try:
             address = yield self.resolver.resolve(hostname)
             target = yield transport.connect_tcp(address, target_port,
-                                                 timeout=30.0)
+                                                 timeout=dial_timeout)
         except (NameResolutionError, TransportError):
+            self._send_error(conn)
+            conn.close()
+            self._release(admitted)
+            return
+        self.streams_opened += 1
+        try:
+            conn.send_message(
+                24, meta=blind_wrap(self.agility.epoch, 16, ("sc-ready",)),
+                features=self.agility.codec.features())
+        except TransportError:
+            # The domestic side vanished between open and ack: the
+            # target dial must not leak, nor the concurrency slot.
+            target.close()
+            conn.close()
+            self._release(admitted)
+            return
+        up = self.sim.process(self._pump_upstream(conn, target), name="sc-up")
+        self.sim.process(self._pump_downstream(conn, target), name="sc-down")
+        if admitted:
+            # The stream slot frees when the domestic-facing pump ends
+            # (EOF or failure on ``conn``); the target-facing pump may
+            # outlive it on a half-closed dial and must not pin the slot.
+            up.add_callback(lambda _event: self.limiter.release())
+
+    def _send_error(self, conn: TcpConnection) -> None:
+        """Best-effort ``sc-error`` ack; the peer may already be gone."""
+        try:
             conn.send_message(
                 24, meta=blind_wrap(self.agility.epoch, 16, ("sc-error",)),
                 features=self.agility.codec.features())
-            conn.close()
-            return
-        self.streams_opened += 1
-        conn.send_message(
-            24, meta=blind_wrap(self.agility.epoch, 16, ("sc-ready",)),
-            features=self.agility.codec.features())
-        self.sim.process(self._pump_upstream(conn, target), name="sc-up")
-        self.sim.process(self._pump_downstream(conn, target), name="sc-down")
+        except TransportError:
+            pass
+
+    def _release(self, admitted: bool) -> None:
+        if admitted:
+            assert self.limiter is not None
+            self.limiter.release()
 
     def _pump_upstream(self, conn: TcpConnection, target: TcpConnection):
         while True:

@@ -14,8 +14,9 @@ from __future__ import annotations
 import typing as t
 
 from ..dns import StubResolver
-from ..errors import MiddlewareError, TransportError
+from ..errors import MiddlewareError, OverloadError, TransportError
 from ..faults import RetryPolicy
+from ..overload import Deadline, OverloadConfig
 from ..http.client import Connector, DirectConnector, TlsStream
 from ..middleware.base import AccessMethod, ChannelStream, RelayedChannel
 from ..net import WireFeatures
@@ -34,6 +35,7 @@ class ScConnector(Connector):
     """Browser connector that speaks the domestic-proxy protocol."""
 
     name = "scholarcloud"
+    supports_deadline = True
 
     def __init__(self, system: "ScholarCloud", host=None,
                  retry: t.Optional[RetryPolicy] = None) -> None:
@@ -43,36 +45,67 @@ class ScConnector(Connector):
         self.retry = retry if retry is not None else RetryPolicy(
             attempts=3, base=0.25, cap=2.0,
             rng=system.testbed.rng.stream("resilience.sc-client"))
+        #: Opens shed by the proxy's admission control.
+        self.sheds_seen = 0
 
-    def open(self, hostname: str, port: int, use_tls: bool):
-        """Dial with retry/backoff; a whitelist refusal is permanent."""
+    def open(self, hostname: str, port: int, use_tls: bool,
+             deadline: t.Optional[Deadline] = None):
+        """Dial with retry/backoff; a whitelist refusal is permanent.
+
+        A shed (:class:`OverloadError`) is also permanent *for this
+        open*: retrying into an overloaded proxy is how overload turns
+        into a retry storm, so the error propagates to the caller
+        immediately.  With a ``deadline``, retries stop once the next
+        attempt could not finish in time.
+        """
+        sim = self.system.testbed.sim
+        if deadline is None:
+            attempt_delays = self.retry.delays()
+        else:
+            attempt_delays = self.retry.delays(clock=lambda: sim.now,
+                                               deadline=deadline.at)
         last_error: t.Optional[TransportError] = None
-        for delay in self.retry.delays():
+        for delay in attempt_delays:
             if delay > 0.0:
-                yield self.system.testbed.sim.timeout(delay)
+                yield sim.timeout(delay)
             try:
-                return (yield from self._open_once(hostname, port, use_tls))
+                return (yield from self._open_once(hostname, port, use_tls,
+                                                   deadline))
+            except OverloadError:
+                self.sheds_seen += 1
+                raise
             except TransportError as exc:
                 last_error = exc
         raise MiddlewareError(
             f"ScholarCloud: {hostname} unreachable after "
             f"{self.retry.attempts} attempts: {last_error}")
 
-    def _open_once(self, hostname: str, port: int, use_tls: bool):
+    def _open_once(self, hostname: str, port: int, use_tls: bool,
+                   deadline: t.Optional[Deadline] = None):
         testbed = self.system.testbed
         transport = testbed.transport_of(self.host)
+        sim = testbed.sim
+        dial_timeout = (30.0 if deadline is None
+                        else deadline.clamp(30.0, sim.now))
         conn = yield transport.connect_tcp(
             self.system.domestic_addr, self.system.domestic_port,
             features=WireFeatures(protocol_tag="plain-http",
                                   plaintext=f"CONNECT {hostname}:{port}",
                                   entropy=4.5),
-            timeout=30.0)
+            timeout=dial_timeout)
         try:
-            conn.send_message(48, meta=("sc-connect", hostname, port))
+            connect_meta: t.Tuple = ("sc-connect", hostname, port)
+            if deadline is not None:
+                connect_meta = connect_meta + (deadline.at,)
+            conn.send_message(48, meta=connect_meta)
             reply = yield conn.recv_message()
             if reply is None:
                 raise TransportError(
                     f"ScholarCloud: proxy closed while opening {hostname}")
+            if (isinstance(reply, tuple) and len(reply) == 2
+                    and reply[0] == "sc-overload"):
+                raise OverloadError(
+                    f"ScholarCloud shed {hostname}: {reply[1]}")
             if reply != ("sc-ready",):
                 raise MiddlewareError(
                     f"ScholarCloud refused {hostname}: {reply!r}")
@@ -99,9 +132,13 @@ class ScholarCloud(AccessMethod):
     requires_client_software = False  # one browser PAC setting
 
     def __init__(self, testbed, whitelist: t.Optional[Whitelist] = None,
-                 secret: bytes = b"scholarcloud-2016") -> None:
+                 secret: bytes = b"scholarcloud-2016",
+                 overload: t.Optional[OverloadConfig] = None) -> None:
         super().__init__(testbed)
         self.whitelist = whitelist if whitelist is not None else scholar_whitelist()
+        #: Overload-protection knobs for both proxies (None = off, the
+        #: calibrated paper configuration).
+        self.overload = overload
         self.agility = BlindingAgility(secret)
         self.domestic: t.Optional[DomesticProxy] = None
         self.remote: t.Optional[RemoteProxy] = None
@@ -137,14 +174,15 @@ class ScholarCloud(AccessMethod):
                 resolver = StubResolver(testbed.sim, vm,
                                         upstream=GOOGLE_DNS_ADDR, port=5362)
                 self.remotes.append(RemoteProxy(
-                    testbed.sim, vm, resolver, cpu=cpu, agility=self.agility))
+                    testbed.sim, vm, resolver, cpu=cpu, agility=self.agility,
+                    overload=self.overload))
             self.remote = self.remotes[0]
         if self.domestic is None:
             self.domestic = DomesticProxy(
                 testbed.sim, testbed.domestic_vm,
                 remote_addrs=[proxy.host.address for proxy in self.remotes],
                 whitelist=self.whitelist, agility=self.agility,
-                cpu=testbed.domestic_cpu)
+                cpu=testbed.domestic_cpu, overload=self.overload)
         self.pac = PacFile(self.whitelist, str(self.domestic_addr),
                            self.domestic_port)
         self.deployed = True

@@ -14,6 +14,11 @@ from dataclasses import dataclass
 from ..errors import PolicyError
 
 
+#: Default admission-priority band for whitelisted services (matches
+#: ``repro.overload.PRIORITY_BULK``; lower numbers are shed last).
+DEFAULT_PRIORITY = 1
+
+
 @dataclass(frozen=True)
 class WhitelistEntry:
     """One whitelisted service."""
@@ -21,6 +26,9 @@ class WhitelistEntry:
     domain: str
     description: str
     added_at: float = 0.0
+    #: Overload-shedding band: 0 = interactive (shed last), higher =
+    #: bulk.  Only consulted when admission control is enabled.
+    priority: int = DEFAULT_PRIORITY
 
 
 class Whitelist:
@@ -38,11 +46,13 @@ class Whitelist:
     def __iter__(self) -> t.Iterator[WhitelistEntry]:
         return iter(self._entries.values())
 
-    def add(self, domain: str, description: str, now: float = 0.0) -> WhitelistEntry:
+    def add(self, domain: str, description: str, now: float = 0.0,
+            priority: int = DEFAULT_PRIORITY) -> WhitelistEntry:
         domain = domain.lower().rstrip(".")
         if not domain or "." not in domain:
             raise PolicyError(f"not a valid service domain: {domain!r}")
-        entry = WhitelistEntry(domain, description, added_at=now)
+        entry = WhitelistEntry(domain, description, added_at=now,
+                               priority=priority)
         self._entries[domain] = entry
         self.audit_log.append((now, "add", domain))
         return entry
@@ -62,6 +72,20 @@ class Whitelist:
         return any(hostname == domain or hostname.endswith("." + domain)
                    for domain in self._entries)
 
+    def priority_of(self, hostname: t.Optional[str]) -> int:
+        """Admission priority of ``hostname`` (best matching entry).
+
+        Unmatched hostnames get the bulk band — they should never reach
+        admission at all (the whitelist refuses them first), so the
+        conservative answer is "shed first".
+        """
+        if not hostname:
+            return DEFAULT_PRIORITY
+        hostname = hostname.lower().rstrip(".")
+        matches = [entry.priority for domain, entry in self._entries.items()
+                   if hostname == domain or hostname.endswith("." + domain)]
+        return min(matches, default=DEFAULT_PRIORITY)
+
     def domains(self) -> t.List[str]:
         """The visible list, as shown to regulators and users."""
         return sorted(self._entries)
@@ -70,7 +94,8 @@ class Whitelist:
 def scholar_whitelist() -> Whitelist:
     """The deployed whitelist: legal, incidentally-blocked services."""
     wl = Whitelist()
-    wl.add("scholar.google.com", "Google Scholar — academic search")
+    wl.add("scholar.google.com", "Google Scholar — academic search",
+           priority=0)
     wl.add("googleapis.com", "Google static APIs used by Scholar pages")
     wl.add("gstatic.com", "Google static content CDN")
     return wl

@@ -61,6 +61,16 @@ class ConnectionTimeout(TransportError):
     """The connection handshake or transfer exceeded its deadline."""
 
 
+class OverloadError(TransportError):
+    """The request was shed by admission control (HTTP 503 semantics).
+
+    A shed is a *decision*, not a transient fault: the server judged
+    that finishing this request would degrade everyone else's.  Callers
+    should fail fast rather than retry hot — immediate retries are how
+    an overload becomes a retry storm.
+    """
+
+
 class DnsError(ReproError):
     """Errors raised by the simulated DNS subsystem."""
 

@@ -12,7 +12,7 @@ Two halves:
 
 from .resilience import CircuitBreaker, Endpoint, FailoverPool, RetryPolicy
 from .schedule import FaultEvent, FaultInjector, FaultSchedule
-from .scripts import standard_fault_script
+from .scripts import overload_storm, standard_fault_script
 
 __all__ = [
     "CircuitBreaker",
@@ -22,5 +22,6 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "RetryPolicy",
+    "overload_storm",
     "standard_fault_script",
 ]

@@ -49,6 +49,13 @@ class RetryPolicy:
     the injected rng stream.  Jitter draws are lazy — a dial that
     succeeds on its first attempt consumes no randomness — which keeps
     the fast path's rng trace identical to a world with no retries.
+
+    A total budget bounds the *sum* of attempts: with ``budget`` set
+    (and a ``clock`` supplied to :meth:`delays`), the iterator stops
+    once the next nominal backoff would start an attempt past
+    ``start + budget``; an explicit ``deadline`` (absolute time) does
+    the same against the caller's deadline.  Retries stopping early
+    never amplify an overload past what the caller will wait for.
     """
 
     def __init__(
@@ -59,23 +66,44 @@ class RetryPolicy:
         cap: float = 8.0,
         jitter: float = 0.1,
         rng: t.Optional[random.Random] = None,
+        budget: t.Optional[float] = None,
     ) -> None:
         if attempts < 1:
             raise ValueError(f"attempts must be >= 1, got {attempts}")
         if not 0.0 <= jitter < 1.0:
             raise ValueError(f"jitter must be in [0,1), got {jitter}")
+        if budget is not None and budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget}")
         self.attempts = attempts
         self.base = base
         self.multiplier = multiplier
         self.cap = cap
         self.jitter = jitter
         self.rng = rng
+        self.budget = budget
 
-    def delays(self) -> t.Iterator[float]:
-        """Yield the delay to sleep *before* each attempt."""
+    def delays(self, clock: t.Optional[t.Callable[[], float]] = None,
+               deadline: t.Optional[float] = None) -> t.Iterator[float]:
+        """Yield the delay to sleep *before* each attempt.
+
+        ``clock`` (a zero-arg now() callable) enables the time bounds:
+        the total ``budget`` counted from the first yield, and/or an
+        absolute ``deadline``.  The bound is tested against the
+        *un-jittered* backoff before any jitter is drawn, so stopping
+        early consumes no randomness — the rng trace stays identical
+        whether or not a bound was the reason the iterator ended.
+        """
+        limit: t.Optional[float] = None
+        if clock is not None:
+            if self.budget is not None:
+                limit = clock() + self.budget
+            if deadline is not None:
+                limit = deadline if limit is None else min(limit, deadline)
         yield 0.0
         for exponent in range(self.attempts - 1):
             delay = min(self.cap, self.base * self.multiplier ** exponent)
+            if limit is not None and clock() + delay >= limit:
+                return
             if self.rng is not None and self.jitter > 0.0:
                 delay *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
             yield delay

@@ -18,7 +18,7 @@ from __future__ import annotations
 import typing as t
 from dataclasses import dataclass, field
 
-from ..errors import FaultError
+from ..errors import FaultError, TransportError
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from ..gfw import GreatFirewall
@@ -97,6 +97,27 @@ class FaultSchedule:
                          domain: str) -> FaultEvent:
         """Temporarily add ``domain`` to the poisoned-domain list."""
         return self.add(FaultEvent(at, "dns-poison", domain, duration))
+
+    def load_spike(self, target: str, at: float, duration: float,
+                   clients: int = 20, hostname: str = "scholar.google.com",
+                   port: int = 443, proxy_port: int = 8080,
+                   hold: t.Optional[float] = None) -> FaultEvent:
+        """A flash crowd against the proxy listening on ``target``.
+
+        ``clients`` extra sessions arrive evenly spread over
+        ``duration``, each opening a proxied stream for ``hostname``
+        and holding it for ``hold`` seconds (default: until the spike
+        window ends).  Composes with the other fault kinds so overload
+        and faults can hit simultaneously.
+        """
+        if clients < 1:
+            raise FaultError(f"load_spike needs clients >= 1, got {clients}")
+        if duration <= 0:
+            raise FaultError("load_spike needs a positive duration")
+        return self.add(FaultEvent(
+            at, "load-spike", target, duration,
+            {"clients": clients, "hostname": hostname, "port": port,
+             "proxy_port": proxy_port, "hold": hold}))
 
     # -- installation ------------------------------------------------------------
 
@@ -204,6 +225,51 @@ class FaultInjector:
             gfw.apply_policy(revert_mutation,
                              label=event.target + ":revert")
         return revert
+
+    def _apply_load_spike(self, event: FaultEvent):
+        testbed = self.testbed
+        proxy_host = testbed.net.node(event.target)
+        sources = list(getattr(testbed, "extra_clients", ())) or [testbed.client]
+        clients = event.params["clients"]
+        spacing = event.duration / clients
+        for index in range(clients):
+            source = sources[index % len(sources)]
+            offset = index * spacing
+            hold = event.params["hold"]
+            if hold is None:
+                hold = max(0.0, event.duration - offset)
+            self.testbed.sim.process(
+                self._spike_session(source, proxy_host.address,
+                                    event.params["proxy_port"],
+                                    event.params["hostname"],
+                                    event.params["port"], offset, hold),
+                name=f"spike-{index}")
+
+        def spike_window_closed() -> None:
+            return None  # sessions end on their own; this marks the timeline
+        return spike_window_closed
+
+    def _spike_session(self, source, address, proxy_port: int,
+                       hostname: str, port: int, offset: float, hold: float):
+        """One flash-crowd session: open a proxied stream, hold, leave."""
+        sim = self.testbed.sim
+        if offset > 0:
+            yield sim.timeout(offset)
+        transport = self.testbed.transport_of(source)
+        try:
+            conn = yield transport.connect_tcp(address, proxy_port,
+                                               timeout=5.0)
+        except TransportError:
+            return
+        try:
+            conn.send_message(48, meta=("sc-connect", hostname, port))
+            yield conn.recv_message()
+        except TransportError:
+            conn.close()
+            return
+        if hold > 0:
+            yield sim.timeout(hold)
+        conn.close()
 
     def _apply_dns_poison(self, event: FaultEvent):
         policy = self.testbed.policy

@@ -41,6 +41,38 @@ def _unblock_remote_vm(gfw: "GreatFirewall") -> None:
     gfw.policy.unblock_ip(REMOTE_VM_ADDR)
 
 
+def overload_storm(rng: random.Random, clients: int = 24,
+                   spike_at: float = 60.0, spike_duration: float = 90.0,
+                   crash_at: float = 120.0, crash_downtime: float = 40.0,
+                   hostname: str = "scholar.google.com") -> FaultSchedule:
+    """Overload composed with faults: a flash crowd, then a crash in it.
+
+    1. a flash crowd of ``clients`` held sessions floods the domestic
+       proxy — with admission control on, the excess is shed rather
+       than queued;
+    2. mid-storm, the remote VM crashes and restarts — the failover
+       pool's breaker opens under the combined pressure and must
+       recover once the VM returns;
+    3. a border-link brownout overlaps the tail, so the recovery
+       happens on a degraded path.
+
+    Timing is jittered from ``rng`` like :func:`standard_fault_script`,
+    so one seed yields one byte-identical storm.
+    """
+    def jittered(base: float, spread: float) -> float:
+        return max(0.0, base + rng.uniform(-spread, spread))
+
+    script = FaultSchedule()
+    script.load_spike("domestic-vm", at=jittered(spike_at, 5.0),
+                      duration=spike_duration, clients=clients,
+                      hostname=hostname)
+    script.proxy_crash("remote-vm", at=jittered(crash_at, 8.0),
+                       downtime=crash_downtime)
+    script.link_degrade("border", at=jittered(crash_at + 30.0, 5.0),
+                        duration=jittered(40.0, 5.0), loss=0.05)
+    return script
+
+
 def standard_fault_script(rng: random.Random) -> FaultSchedule:
     """The reference scenario used by the fault-matrix bench.
 

@@ -22,7 +22,8 @@ from __future__ import annotations
 import typing as t
 from dataclasses import dataclass, field
 
-from ..errors import HttpError, ReproError, TransportError
+from ..errors import HttpError, OverloadError, ReproError, TransportError
+from ..overload import Deadline
 from ..sim import Resource, Simulator
 from .client import Connector, Stream, fetch
 from .messages import HttpRequest, HttpResponse
@@ -74,6 +75,7 @@ class Browser:
         retries: int = 0,
         retry_backoff: float = 1.0,
         read_timeout: t.Optional[float] = None,
+        total_deadline: t.Optional[float] = None,
     ) -> None:
         self.sim = sim
         self.connector = connector
@@ -90,6 +92,14 @@ class Browser:
         #: IP block) stalls a load until the fault lifts; with it the
         #: fetch aborts, the stream is dropped, and the retry dials fresh.
         self.read_timeout = read_timeout
+        #: Total time budget per *request*, covering every retry attempt
+        #: and its backoff.  Without it, ``retries`` x ``read_timeout``
+        #: can exceed any deadline a caller had in mind; with it the
+        #: browser stamps a :class:`~repro.overload.Deadline` when the
+        #: request starts, stops retrying once the next attempt could
+        #: not start in time, and hands the deadline to connectors that
+        #: can propagate it (``supports_deadline``).
+        self.total_deadline = total_deadline
         #: Optional per-URL connector routing (PAC-style). Receives the
         #: URL, returns a Connector; default routes everything to
         #: ``self.connector``.
@@ -209,20 +219,35 @@ class Browser:
         connector = self.route(request.url)
         origin = self._origin_for(connector, host, port, use_tls)
         yield origin.slots.acquire()
+        deadline = (None if self.total_deadline is None
+                    else Deadline(self.sim.now + self.total_deadline))
         try:
             attempt = 0
             while True:
                 stream: t.Optional[Stream] = None
                 try:
                     stream = yield from self._checkout(
-                        origin, connector, host, port, use_tls, counters)
+                        origin, connector, host, port, use_tls, counters,
+                        deadline)
                     response = yield from self._fetch_with_deadline(
-                        stream, request)
+                        stream, request, deadline)
+                except OverloadError:
+                    # A shed is the service telling us to go away; an
+                    # immediate retry would feed the retry storm the
+                    # shed exists to prevent.
+                    if stream is not None:
+                        stream.close()
+                    raise
                 except (TransportError, HttpError):
                     if stream is not None:
                         stream.close()
                     attempt += 1
                     if attempt > self.retries:
+                        raise
+                    backoff = self.retry_backoff * (2 ** (attempt - 1))
+                    if (deadline is not None
+                            and deadline.expired(self.sim.now + backoff)):
+                        # The next attempt could not even start in time.
                         raise
                     # Every pooled stream shares the failed path and a
                     # close may not have propagated yet; drop them all
@@ -230,8 +255,7 @@ class Browser:
                     for idle_stream, _idle_since in origin.idle:
                         idle_stream.close()
                     origin.idle.clear()
-                    yield self.sim.timeout(
-                        self.retry_backoff * (2 ** (attempt - 1)))
+                    yield self.sim.timeout(backoff)
                     continue
                 counters["bytes"] += request.size() + response.size()
                 counters["objects"] += 1
@@ -240,18 +264,22 @@ class Browser:
         finally:
             origin.slots.release()
 
-    def _fetch_with_deadline(self, stream: Stream, request: HttpRequest):
-        if self.read_timeout is None:
+    def _fetch_with_deadline(self, stream: Stream, request: HttpRequest,
+                             deadline: t.Optional[Deadline] = None):
+        timeout = self.read_timeout
+        if deadline is not None:
+            timeout = deadline.clamp(timeout, self.sim.now)
+        if timeout is None:
             return (yield from fetch(stream, request))
         task = self.sim.process(fetch(stream, request),
                                 name=f"fetch:{request.path}")
-        timer = self.sim.timeout(self.read_timeout)
+        timer = self.sim.timeout(timeout)
         yield self.sim.any_of([task, timer])
         if task.triggered:
             return task.value
         task.interrupt("read-deadline")
         raise TransportError(
-            f"{request.url}: no response within {self.read_timeout:g}s")
+            f"{request.url}: no response within {timeout:g}s")
 
     def _origin_for(self, connector: Connector, host: str, port: int,
                     use_tls: bool) -> _Origin:
@@ -263,13 +291,19 @@ class Browser:
         return origin
 
     def _checkout(self, origin: _Origin, connector: Connector, host: str,
-                  port: int, use_tls: bool, counters: t.Dict[str, int]):
+                  port: int, use_tls: bool, counters: t.Dict[str, int],
+                  deadline: t.Optional[Deadline] = None):
         while origin.idle:
             stream, idle_since = origin.idle.pop()
             if stream.alive and self.sim.now - idle_since <= self.keepalive:
                 return stream
             stream.close()
-        stream = yield from connector.open(host, port, use_tls)
+        if deadline is not None and getattr(connector, "supports_deadline",
+                                            False):
+            stream = yield from connector.open(host, port, use_tls,
+                                               deadline=deadline)
+        else:
+            stream = yield from connector.open(host, port, use_tls)
         counters["connections"] += 1
         self.connections_opened += 1
         return stream

@@ -90,6 +90,11 @@ class Connector:
 
     #: Human-readable name used in reports.
     name = "abstract"
+    #: Whether :meth:`open` accepts a ``deadline`` keyword (an
+    #: :class:`~repro.overload.Deadline`) and propagates it on the wire.
+    #: Browsers only pass one when the connector opts in, so legacy
+    #: connectors keep their exact signatures.
+    supports_deadline = False
 
     def open(self, hostname: str, port: int, use_tls: bool):
         """Generator process returning a :class:`Stream`."""

@@ -65,6 +65,80 @@ def summarize(values: t.Iterable[float]) -> Summary:
     )
 
 
+def goodput(completed: int, duration: float) -> float:
+    """Useful completions per second over ``duration``.
+
+    Goodput — not throughput — is the degradation metric that matters
+    under overload: bytes moved for requests that ultimately failed or
+    were abandoned count for nothing.
+    """
+    if completed < 0:
+        raise MeasurementError(f"negative completion count: {completed}")
+    if duration < 0:
+        raise MeasurementError(f"negative duration: {duration}")
+    if duration == 0:
+        return 0.0
+    return completed / duration
+
+
+def shed_rate(shed: int, offered: int) -> float:
+    """Fraction of offered work shed by admission control, in [0,1]."""
+    if shed < 0 or offered < 0:
+        raise MeasurementError("negative shed/offered counts")
+    if offered == 0:
+        return 0.0
+    return min(1.0, shed / offered)
+
+
+def queue_delay_percentiles(
+    delays: t.Iterable[float],
+    fractions: t.Sequence[float] = (0.50, 0.95, 0.99),
+) -> t.Dict[float, float]:
+    """Percentiles of a queueing-delay series; all-zero when empty.
+
+    An empty series means nothing ever queued, for which "zero delay"
+    is the honest summary — raising would force every caller to
+    special-case the healthy, unqueued system.
+    """
+    series = sorted(float(d) for d in delays)
+    if not series:
+        return {fraction: 0.0 for fraction in fractions}
+    return {fraction: percentile(series, fraction)
+            for fraction in fractions}
+
+
+@dataclass(frozen=True)
+class OverloadReport:
+    """Degradation summary of one overload experiment point."""
+
+    offered: int
+    admitted: int
+    shed: int
+    deadline_drops: int
+    completed: int
+    duration: float
+    queue_delays: t.Tuple[float, ...] = ()
+
+    @property
+    def goodput(self) -> float:
+        return goodput(self.completed, self.duration)
+
+    @property
+    def shed_rate(self) -> float:
+        return shed_rate(self.shed, self.offered)
+
+    def queue_delay(self, fraction: float) -> float:
+        return queue_delay_percentiles(self.queue_delays,
+                                       (fraction,))[fraction]
+
+    def __str__(self) -> str:
+        return (f"offered={self.offered} admitted={self.admitted} "
+                f"shed={self.shed} ({self.shed_rate:.0%}) "
+                f"drops={self.deadline_drops} "
+                f"goodput={self.goodput:.3f}/s "
+                f"qdelay p95={self.queue_delay(0.95):.3f}s")
+
+
 def loss_rate(dropped: int, sent: int) -> float:
     """Packet loss rate in [0,1]; zero traffic counts as zero loss."""
     if sent < 0 or dropped < 0:

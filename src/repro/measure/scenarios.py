@@ -25,7 +25,15 @@ from ..middleware import (
     TorMethod,
 )
 from ..faults import FaultSchedule, standard_fault_script
-from .metrics import Availability, Summary, availability, loss_rate, summarize
+from ..overload import OverloadConfig
+from .metrics import (
+    Availability,
+    OverloadReport,
+    Summary,
+    availability,
+    loss_rate,
+    summarize,
+)
 from .testbed import ECHO_PORT, SCHOLAR_HOST, Testbed
 
 #: Methods measured in the paper's Figures 5–7.
@@ -34,7 +42,8 @@ METHOD_NAMES = ("native-vpn", "openvpn", "tor", "shadowsocks", "scholarcloud")
 MEASUREMENT_INTERVAL = 60.0
 
 
-def build_method(testbed: Testbed, name: str):
+def build_method(testbed: Testbed, name: str,
+                 overload: t.Optional[OverloadConfig] = None):
     """Instantiate (but not set up) an access method by name."""
     factories = {
         "direct": DirectMethod,
@@ -47,6 +56,11 @@ def build_method(testbed: Testbed, name: str):
     factory = factories.get(name)
     if factory is None:
         raise MeasurementError(f"unknown access method {name!r}")
+    if name == "scholarcloud":
+        return ScholarCloud(testbed, overload=overload)
+    if overload is not None:
+        raise MeasurementError(
+            f"{name} has no overload-protection layer to configure")
     return factory(testbed)
 
 
@@ -60,10 +74,12 @@ class MethodWorld:
     setup_time: float
 
 
-def prepare(name: str, seed: int = 0, **testbed_kwargs) -> MethodWorld:
+def prepare(name: str, seed: int = 0,
+            overload: t.Optional[OverloadConfig] = None,
+            **testbed_kwargs) -> MethodWorld:
     """Fresh testbed + method, set up and ready to measure."""
     testbed = Testbed(seed=seed, **testbed_kwargs)
-    method = build_method(testbed, name)
+    method = build_method(testbed, name, overload=overload)
     started = testbed.sim.now
     testbed.run_process(method.setup(), name=f"setup:{name}")
     setup_time = testbed.sim.now - started
@@ -339,3 +355,105 @@ def run_scalability_point(method: str, clients: int, cycles: int = 3,
     if not plts:
         raise MeasurementError(f"{method}: no scalability samples")
     return summarize(plts)
+
+
+# -- Overload: the Figure 7 sweep past its knee -----------------------------------------------
+
+@dataclass
+class OverloadResult:
+    """One overload experiment point (Figure 7 extended past 180)."""
+
+    method: str
+    clients: int
+    #: Measured (non-warm-up) loads that succeeded / failed.
+    completed: int
+    failed: int
+    #: Failed loads whose error was an admission shed.
+    client_sheds: int
+    #: PLT summary of the successful loads (None if none succeeded).
+    plt: t.Optional[Summary]
+    #: Server-side degradation counters (admission + queue delays).
+    report: OverloadReport
+    #: The admission controller's full decision log, for
+    #: seed-robustness assertions (empty with overload off).
+    decisions: t.List[t.Tuple[float, str, str, int]]
+
+    @property
+    def goodput(self) -> float:
+        return self.report.goodput
+
+    @property
+    def shed_rate(self) -> float:
+        return self.report.shed_rate
+
+
+def run_overload_point(method: str = "scholarcloud", clients: int = 60,
+                       cycles: int = 3, seed: int = 0,
+                       overload: t.Optional[OverloadConfig] = None,
+                       total_deadline: t.Optional[float] = None,
+                       ) -> OverloadResult:
+    """One extended-Figure-7 point, optionally with overload knobs on.
+
+    The client driver is event-for-event identical to
+    :func:`run_scalability_point` — same rng stream, same process
+    names, same warm-up — so with ``overload=None`` and
+    ``total_deadline=None`` the PLT summary is byte-identical to the
+    untouched Figure 7 harness (a regression test holds this).
+    """
+    world = prepare(method, seed=seed, overload=overload,
+                    extra_clients=clients)
+    testbed = world.testbed
+    plts: t.List[float] = []
+    outcomes: t.List[t.Tuple[bool, t.Optional[str]]] = []
+
+    def client_loop(sim, host, offset):
+        connector = yield from world.method.attach_client(host)
+        browser = Browser(sim, connector, name=f"browser-{host.name}",
+                          total_deadline=total_deadline)
+        yield sim.timeout(offset)
+        # Warm-up: populate caches, then measure.
+        yield sim.process(browser.load(testbed.scholar_page))
+        for _ in range(cycles):
+            yield sim.timeout(MEASUREMENT_INTERVAL)
+            result = yield sim.process(browser.load(testbed.scholar_page))
+            outcomes.append((result.succeeded, result.error))
+            if result.succeeded:
+                plts.append(result.plt)
+
+    rng = testbed.rng.stream("scalability-offsets")
+    processes = []
+    for index, host in enumerate(testbed.extra_clients[:clients]):
+        offset = rng.uniform(0, MEASUREMENT_INTERVAL)
+        processes.append(testbed.sim.process(
+            client_loop(testbed.sim, host, offset), name=f"load-{index}"))
+    testbed.sim.run(until=testbed.sim.all_of(processes))
+
+    completed = sum(1 for succeeded, _ in outcomes if succeeded)
+    failed = len(outcomes) - completed
+    client_sheds = sum(1 for succeeded, error in outcomes
+                       if not succeeded and error is not None
+                       and error.startswith("OverloadError"))
+    offered = admitted = shed = deadline_drops = 0
+    queue_delays: t.Tuple[float, ...] = ()
+    decisions: t.List[t.Tuple[float, str, str, int]] = []
+    domestic = getattr(world.method, "domestic", None)
+    if domestic is not None:
+        # domestic.deadline_drops mirrors admission.record_expired, so
+        # one counter covers both (no double counting).
+        deadline_drops = domestic.deadline_drops
+        if domestic.admission is not None:
+            admission = domestic.admission
+            offered = admission.offered
+            admitted = admission.admitted
+            shed = admission.shed
+            queue_delays = tuple(admission.queue_delays)
+            decisions = list(admission.decisions)
+    report = OverloadReport(
+        offered=offered, admitted=admitted, shed=shed,
+        deadline_drops=deadline_drops, completed=completed,
+        duration=testbed.sim.now, queue_delays=queue_delays)
+    return OverloadResult(
+        method=method, clients=clients, completed=completed, failed=failed,
+        client_sheds=client_sheds,
+        plt=summarize(plts) if plts else None,
+        report=report, decisions=decisions)

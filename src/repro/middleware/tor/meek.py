@@ -119,7 +119,10 @@ class CdnFront:
             length = 514
             if isinstance(message, tuple) and len(message) == 4:
                 length = max(514, _payload_length(message[3]))
-            queue.put((length, message))
+            # Drained on every client poll (<= one poll interval of
+            # backlog); capping it would stall the bridge pump and
+            # change the calibrated meek PLT traces.
+            queue.put((length, message))  # reprolint: disable=unbounded-queue
 
 
 class MeekChannel(MessageChannel):

@@ -1,0 +1,50 @@
+"""Request deadlines, propagated hop by hop.
+
+A :class:`Deadline` is an absolute simulated-time instant after which
+the request's answer is worthless to the caller.  The browser stamps
+it, the connector carries it on the wire (one extra float in the
+``sc-connect`` / ``sc-open`` metadata), and each proxy drops expired
+work instead of spending cycles on an answer nobody is waiting for.
+
+Absolute time — not a remaining-duration — is the right wire form in a
+simulation with a single global clock: every hop can test expiry
+without clock-skew bookkeeping.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute point in simulated time."""
+
+    at: float
+
+    def remaining(self, now: float) -> float:
+        """Seconds left before expiry (negative once past)."""
+        return self.at - now
+
+    def expired(self, now: float) -> bool:
+        return now >= self.at
+
+    def clamp(self, timeout: t.Optional[float], now: float) -> float:
+        """Shrink ``timeout`` so it never outlives the deadline.
+
+        ``None`` (wait forever) becomes the remaining budget.  The
+        result is floored at a hair above zero so expiry surfaces as an
+        immediate timeout rather than a negative-delay error.
+        """
+        budget = max(1e-9, self.remaining(now))
+        if timeout is None:
+            return budget
+        return min(timeout, budget)
+
+
+def deadline_from_wire(value: t.Optional[float]) -> t.Optional[Deadline]:
+    """Decode the optional deadline slot of a wire metadata tuple."""
+    if value is None:
+        return None
+    return Deadline(float(value))
