@@ -1,0 +1,88 @@
+"""Performance gates: the speedups this PR claims, asserted.
+
+Two hard floors (with generous slack under their measured values):
+
+* the byte-map codec fast path is at least **5x** the reference
+  per-byte loop (measured ~30-65x);
+* the end-to-end Figure 7 mini-sweep runs at least **2x** faster on
+  the optimized paths + parallel runner than reference-serial
+  (measured ~4x; on one CPU the win is carried entirely by the
+  hot-path rewrites, which is the point of gating the combination).
+
+The parallel-beats-serial assertion only runs on multicore hosts —
+on a single CPU a process pool cannot win wall-clock.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.blinding import ByteMapCodec
+from repro.perf.bench import _corpus
+from repro.perf.reference import (
+    byte_map_decode_reference,
+    byte_map_encode_reference,
+    patched_reference_paths,
+)
+from repro.perf.runner import run_points, scalability_points, serial_map
+
+
+def best_time(function, repeat=3):
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_codec_fast_path_at_least_5x(benchmark, emit):
+    codec = ByteMapCodec(b"gate-secret")
+    data = _corpus(64 * 1024)
+    benchmark.pedantic(lambda: codec.decode(codec.encode(data)),
+                       rounds=3, iterations=1)
+    optimized = best_time(lambda: codec.decode(codec.encode(data)))
+    reference = best_time(lambda: byte_map_decode_reference(
+        codec._inverse, byte_map_encode_reference(codec._forward, data)))
+    speedup = reference / optimized
+    emit("perf_gate_codec",
+         f"byte-map codec 64 KiB round-trip: reference {reference * 1e3:.2f} ms, "
+         f"optimized {optimized * 1e3:.2f} ms, speedup {speedup:.1f}x")
+    assert speedup >= 5.0, f"codec speedup {speedup:.1f}x below the 5x gate"
+
+
+@pytest.fixture(scope="module")
+def fig7_points():
+    return scalability_points(("scholarcloud", "shadowsocks"), (5,),
+                              cycles=1, seed=0)
+
+
+def test_fig7_combined_speedup_at_least_2x(benchmark, emit, fig7_points):
+    benchmark.pedantic(lambda: serial_map(fig7_points[:1]),
+                       rounds=1, iterations=1)
+    optimized = best_time(lambda: run_points(fig7_points), repeat=1)
+    with patched_reference_paths():
+        reference = best_time(lambda: serial_map(fig7_points), repeat=1)
+    speedup = reference / optimized
+    emit("perf_gate_fig7",
+         f"fig7 mini-sweep ({len(fig7_points)} points): reference-serial "
+         f"{reference:.2f} s, optimized-parallel {optimized:.2f} s, "
+         f"combined speedup {speedup:.1f}x")
+    assert speedup >= 2.0, f"combined speedup {speedup:.1f}x below the 2x gate"
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                    reason="parallel wall-clock win needs >1 CPU")
+def test_parallel_beats_serial_on_multicore(emit):
+    points = scalability_points(("native-vpn", "openvpn",
+                                 "scholarcloud", "shadowsocks"), (5,),
+                                cycles=1, seed=0)
+    serial_s = best_time(lambda: serial_map(points), repeat=1)
+    parallel_s = best_time(lambda: run_points(points, workers=2), repeat=1)
+    speedup = serial_s / parallel_s
+    emit("perf_gate_parallel",
+         f"fig7 4-point sweep: serial {serial_s:.2f} s, parallel(2) "
+         f"{parallel_s:.2f} s, speedup {speedup:.2f}x")
+    assert speedup > 1.15, (
+        f"parallel runner no faster than serial on {os.cpu_count()} CPUs")

@@ -118,6 +118,9 @@ class UnboundedQueueRule(Rule):
     default_scope = ("repro.core", "repro.middleware", "repro.transport",
                      "repro.net")
 
+    #: ``default_factory`` values that build an unbounded sequence.
+    _UNBOUNDED_FACTORIES = frozenset({"list", "deque"})
+
     def __init__(self, *args: t.Any, **kwargs: t.Any) -> None:
         super().__init__(*args, **kwargs)
         self._loop_locals: t.List[t.Set[str]] = []
@@ -145,3 +148,60 @@ class UnboundedQueueRule(Rule):
         if not isinstance(receiver, ast.Name):
             return False
         return any(receiver.id in names for names in self._loop_locals)
+
+    # -- dataclass fields ------------------------------------------------
+
+    # Per-flow/per-connection state usually lives in dataclass fields,
+    # where the accumulation site (some .append elsewhere) and the
+    # missing bound (the field declaration) are in different places.
+    # The declaration is the fixable spot, so that is what gets flagged:
+    # a list or bare deque default_factory on a dataclass field.
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if any(self._is_dataclass_decorator(d) for d in node.decorator_list):
+            for statement in node.body:
+                if (isinstance(statement, ast.AnnAssign)
+                        and statement.value is not None):
+                    self._check_field_default(statement.value)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_dataclass_decorator(decorator: ast.expr) -> bool:
+        if isinstance(decorator, ast.Call):
+            decorator = decorator.func
+        if isinstance(decorator, ast.Attribute):
+            return decorator.attr == "dataclass"
+        return isinstance(decorator, ast.Name) and decorator.id == "dataclass"
+
+    def _check_field_default(self, value: ast.expr) -> None:
+        if not (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "field"):
+            return
+        for keyword in value.keywords:
+            if keyword.arg == "default_factory" and \
+                    self._factory_unbounded(keyword.value):
+                self.report(keyword.value,
+                            "dataclass field defaults to an unbounded "
+                            "list/deque; per-instance state accumulates for "
+                            "the life of the flow — use deque(maxlen=...) "
+                            "or justify the bound in a suppression comment")
+
+    def _factory_unbounded(self, factory: ast.expr) -> bool:
+        if isinstance(factory, ast.Name):
+            return factory.id in self._UNBOUNDED_FACTORIES
+        if isinstance(factory, ast.Lambda):
+            body = factory.body
+            if isinstance(body, ast.List):
+                return True
+            if (isinstance(body, ast.Call)
+                    and isinstance(body.func, ast.Name)
+                    and body.func.id in self._UNBOUNDED_FACTORIES):
+                # deque(maxlen=...) with a real bound is the fix, not
+                # the bug.
+                return not any(
+                    keyword.arg == "maxlen"
+                    and not (isinstance(keyword.value, ast.Constant)
+                             and keyword.value.value is None)
+                    for keyword in body.keywords)
+        return False

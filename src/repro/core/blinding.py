@@ -16,6 +16,7 @@ paper's answer to the GFW arms race.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import typing as t
 
@@ -62,8 +63,13 @@ class ByteMapCodec(BlindingCodec):
             raise BlindingError("byte-map codec needs a non-empty secret")
         self.secret = bytes(secret)
         self._forward = self._permutation(self.secret)
-        self._inverse = bytes(
-            self._forward.index(value) for value in range(256))
+        # Invert the permutation in one O(256) pass; codecs are rebuilt
+        # on every BlindingAgility rotation, so the old O(256^2)
+        # bytes.index() scan was paid per epoch.
+        inverse = bytearray(256)
+        for index, value in enumerate(self._forward):
+            inverse[value] = index
+        self._inverse = bytes(inverse)
 
     @staticmethod
     def _permutation(secret: bytes) -> bytes:
@@ -89,17 +95,41 @@ class ByteMapCodec(BlindingCodec):
         return bytes(table)
 
     def encode(self, data: bytes) -> bytes:
-        return bytes(self._forward[b] for b in data)
+        return data.translate(self._forward)
 
     def decode(self, data: bytes) -> bytes:
-        return bytes(self._inverse[b] for b in data)
+        return data.translate(self._inverse)
+
+
+#: Rotation tables ROT[k][y] = (y + k) mod 256, built once per process on
+#: first use.  Position-dependent codecs derive their per-offset tables
+#: from a base table with one 256-byte translate instead of 256 Python
+#: multiplications.
+_ROT: t.List[bytes] = []
+
+
+def _rotation_tables() -> t.List[bytes]:
+    if not _ROT:
+        _ROT.extend(bytes((y + k) % 256 for y in range(256))
+                    for k in range(256))
+    return _ROT
 
 
 class AffineCodec(BlindingCodec):
-    """Per-position affine transform: b' = (a*b + c + i) mod 256, a odd."""
+    """Per-position affine transform: b' = (a*b + c + i) mod 256, a odd.
+
+    The position term cycles mod 256, so bytes at positions congruent
+    to ``k`` share one substitution table: large messages are encoded
+    as 256 strided :meth:`bytes.translate` passes over cached tables
+    rather than a per-byte Python loop.
+    """
 
     codec_name = "affine"
     padding_overhead = 0
+
+    #: Below this length the strided path's per-table overhead loses to
+    #: a single translate-then-add loop.
+    _STRIDE_THRESHOLD = 1024
 
     def __init__(self, multiplier: int, offset: int) -> None:
         if multiplier % 2 == 0:
@@ -107,14 +137,46 @@ class AffineCodec(BlindingCodec):
         self.multiplier = multiplier % 256
         self.offset = offset % 256
         self._inverse_multiplier = pow(self.multiplier, -1, 256)
+        self._enc_base = bytes((self.multiplier * b + self.offset) % 256
+                               for b in range(256))
+        self._dec_base = bytes(
+            (self._inverse_multiplier * (y - self.offset)) % 256
+            for y in range(256))
+        self._enc_tables: t.Dict[int, bytes] = {0: self._enc_base}
+        self._dec_tables: t.Dict[int, bytes] = {0: self._dec_base}
+
+    def _enc_table(self, k: int) -> bytes:
+        table = self._enc_tables.get(k)
+        if table is None:
+            table = self._enc_base.translate(_rotation_tables()[k])
+            self._enc_tables[k] = table
+        return table
+
+    def _dec_table(self, k: int) -> bytes:
+        table = self._dec_tables.get(k)
+        if table is None:
+            # dec_k[y] = dec_base[(y - k) mod 256]: rotate the inputs.
+            table = _rotation_tables()[(256 - k) % 256].translate(self._dec_base)
+            self._dec_tables[k] = table
+        return table
 
     def encode(self, data: bytes) -> bytes:
-        return bytes((self.multiplier * b + self.offset + i) % 256
-                     for i, b in enumerate(data))
+        if len(data) < self._STRIDE_THRESHOLD:
+            base = self._enc_base
+            return bytes((base[b] + i) % 256 for i, b in enumerate(data))
+        out = bytearray(len(data))
+        for k in range(256):
+            out[k::256] = data[k::256].translate(self._enc_table(k))
+        return bytes(out)
 
     def decode(self, data: bytes) -> bytes:
-        return bytes((self._inverse_multiplier * (b - self.offset - i)) % 256
-                     for i, b in enumerate(data))
+        if len(data) < self._STRIDE_THRESHOLD:
+            base = self._dec_base
+            return bytes(base[(b - i) % 256] for i, b in enumerate(data))
+        out = bytearray(len(data))
+        for k in range(256):
+            out[k::256] = data[k::256].translate(self._dec_table(k))
+        return bytes(out)
 
 
 class ChainedCodec(BlindingCodec):
@@ -139,6 +201,31 @@ class ChainedCodec(BlindingCodec):
         return data
 
 
+@functools.lru_cache(maxsize=4096)
+def _length_digest(length: int) -> int:
+    """First digest byte of SHA-256(length) — the padding die roll.
+
+    Message lengths repeat heavily (framing headers, common page
+    objects), so the hash is memoized; the value is a pure function of
+    its argument, keeping the determinism contract intact.
+    """
+    return hashlib.sha256(length.to_bytes(8, "big")).digest()[0]
+
+
+@functools.lru_cache(maxsize=1024)
+def _pad_bytes(length: int, pad: int) -> bytes:
+    """Pseudorandom padding — constant padding would itself be a
+    detectable length-independent byte pattern on the wire."""
+    out = b""
+    counter = 0
+    while len(out) < pad:
+        out += hashlib.sha256(
+            b"pad" + length.to_bytes(8, "big")
+            + counter.to_bytes(4, "big")).digest()
+        counter += 1
+    return out[:pad]
+
+
 class PaddedCodec(BlindingCodec):
     """Wrap a codec with deterministic length padding.
 
@@ -157,20 +244,10 @@ class PaddedCodec(BlindingCodec):
         self.padding_overhead = 2 + jitter // 2
 
     def pad_length(self, length: int) -> int:
-        digest = hashlib.sha256(length.to_bytes(8, "big")).digest()
-        return 2 + digest[0] % self.jitter
+        return 2 + _length_digest(length) % self.jitter
 
     def _pad_bytes(self, length: int, pad: int) -> bytes:
-        """Pseudorandom padding — constant padding would itself be a
-        detectable length-independent byte pattern on the wire."""
-        out = b""
-        counter = 0
-        while len(out) < pad:
-            out += hashlib.sha256(
-                b"pad" + length.to_bytes(8, "big")
-                + counter.to_bytes(4, "big")).digest()
-            counter += 1
-        return out[:pad]
+        return _pad_bytes(length, pad)
 
     def encode(self, data: bytes) -> bytes:
         pad = self.pad_length(len(data))

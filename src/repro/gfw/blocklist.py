@@ -3,10 +3,17 @@
 The policy is mutable at runtime — the paper stresses that both the
 GFW's behaviour and government policy evolve over time, and the
 arms-race example exercises exactly that.
+
+Lookups are on the firewall's per-packet path, so they are precompiled:
+domain blocking walks the queried name's suffixes against a set (O(#
+labels), not O(# blocked suffixes)), and keyword scanning runs one
+compiled alternation instead of one ``in`` scan per keyword.  Mutators
+invalidate the compiled forms, keeping the mutable-policy contract.
 """
 
 from __future__ import annotations
 
+import re
 import typing as t
 
 from ..net import IPv4Address, Prefix
@@ -20,6 +27,7 @@ class BlockPolicy:
         self._ip_prefixes: t.List[Prefix] = []
         self._ip_exact: t.Set[IPv4Address] = set()
         self._keywords: t.Set[str] = set()
+        self._keyword_pattern: t.Optional[t.Pattern[str]] = None
         #: Per-traffic-class interference loss rates (0 disables).
         self.class_interference: t.Dict[str, float] = {}
         #: Traffic classes answered with forged RSTs instead of loss.
@@ -36,9 +44,20 @@ class BlockPolicy:
     def domain_blocked(self, name: t.Optional[str]) -> bool:
         if not name:
             return False
+        suffixes = self._domain_suffixes
+        if not suffixes:
+            return False
         name = name.lower().rstrip(".")
-        return any(name == suffix or name.endswith("." + suffix)
-                   for suffix in self._domain_suffixes)
+        # Walk the name's own suffixes (scholar.google.com → google.com
+        # → com): membership tests against the set cost O(# labels)
+        # however long the blocklist grows.
+        while True:
+            if name in suffixes:
+                return True
+            dot = name.find(".")
+            if dot < 0:
+                return False
+            name = name[dot + 1:]
 
     # -- IPs ----------------------------------------------------------------------
 
@@ -54,21 +73,30 @@ class BlockPolicy:
     def ip_blocked(self, address: IPv4Address) -> bool:
         if address in self._ip_exact:
             return True
+        if not self._ip_prefixes:
+            return False
         return any(address in prefix for prefix in self._ip_prefixes)
 
     # -- keywords --------------------------------------------------------------------
 
     def block_keyword(self, keyword: str) -> None:
         self._keywords.add(keyword.lower())
+        self._keyword_pattern = None
 
     def keyword_hit(self, plaintext: str) -> t.Optional[str]:
-        if not plaintext:
+        if not plaintext or not self._keywords:
             return None
-        lowered = plaintext.lower()
-        for keyword in self._keywords:
-            if keyword in lowered:
-                return keyword
-        return None
+        pattern = self._keyword_pattern
+        if pattern is None:
+            # Longest-first alternation: the leftmost, longest keyword
+            # wins, a deterministic rule independent of set iteration
+            # order.
+            pattern = re.compile("|".join(
+                re.escape(k) for k in sorted(self._keywords,
+                                             key=lambda k: (-len(k), k))))
+            self._keyword_pattern = pattern
+        match = pattern.search(plaintext.lower())
+        return match.group(0) if match is not None else None
 
     # -- interference ---------------------------------------------------------------------
 

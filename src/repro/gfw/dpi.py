@@ -51,6 +51,14 @@ class Classifier:
 
     name = "classifier"
 
+    #: Wire-protocol tags this classifier can possibly fire on (it must
+    #: return ``None`` with no side effects for every other tag).  The
+    #: firewall uses this to dispatch each packet to only the relevant
+    #: classifiers instead of running the whole chain; ``None`` means
+    #: "inspect every packet" and is the safe default for classifiers
+    #: that do not declare their tags.
+    match_tags: t.Optional[t.FrozenSet[str]] = None
+
     def classify(self, packet: Packet, state: FlowState,
                  policy: BlockPolicy) -> t.Optional[Classification]:
         raise NotImplementedError
@@ -60,6 +68,7 @@ class SniClassifier(Classifier):
     """Reset TLS flows whose ClientHello names a blocked domain."""
 
     name = "sni"
+    match_tags = frozenset({"tls"})
 
     def classify(self, packet, state, policy):
         features = packet.features
@@ -74,6 +83,7 @@ class HttpHostClassifier(Classifier):
     """Reset plain-HTTP flows whose URL names a blocked domain."""
 
     name = "http-host"
+    match_tags = frozenset({"plain-http"})
 
     def classify(self, packet, state, policy):
         features = packet.features
@@ -96,6 +106,7 @@ class VpnProtocolClassifier(Classifier):
         "l2tp-udp": "vpn-l2tp",
         "openvpn": "vpn-openvpn",
     }
+    match_tags = frozenset(_TAGS)
 
     def classify(self, packet, state, policy):
         label = self._TAGS.get(packet.features.protocol_tag)
@@ -108,6 +119,7 @@ class TorTlsClassifier(Classifier):
     """Bare Tor's distinctive TLS fingerprint (no pluggable transport)."""
 
     name = "tor-tls"
+    match_tags = frozenset({"tor-tls"})
 
     def classify(self, packet, state, policy):
         if packet.features.protocol_tag == "tor-tls":
@@ -125,6 +137,7 @@ class MeekClassifier(Classifier):
     """
 
     name = "meek"
+    match_tags = frozenset({"tls"})
 
     def __init__(self, min_polls: int = 4) -> None:
         self.min_polls = min_polls
@@ -151,6 +164,7 @@ class ShadowsocksClassifier(Classifier):
     """No framing + first-packet ciphertext + SS-shaped first frame."""
 
     name = "shadowsocks"
+    match_tags = frozenset({"unknown-stream"})
 
     def __init__(self, entropy_threshold: float = 7.5) -> None:
         self.entropy_threshold = entropy_threshold

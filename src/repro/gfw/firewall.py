@@ -90,6 +90,12 @@ class GreatFirewall(Middlebox):
         self.stats = GfwStats()
         #: Audit log of mid-sim policy changes: (time, label) pairs.
         self.policy_log: t.List[t.Tuple[float, str]] = []
+        # Tag-indexed classifier dispatch, built lazily per protocol tag
+        # and guarded by a snapshot of the classifier list so direct
+        # mutations of ``self.classifiers`` (the arms-race example
+        # appends mid-sim) invalidate it on the next packet.
+        self._dispatch_cache: t.Dict[str, t.List[Classifier]] = {}
+        self._dispatch_snapshot: t.Optional[t.List[Classifier]] = None
 
     # -- mid-sim policy changes --------------------------------------------------------
 
@@ -103,6 +109,7 @@ class GreatFirewall(Middlebox):
         change lands in ``policy_log`` and the trace.
         """
         mutation(self)
+        self._dispatch_snapshot = None  # mutation may have swapped classifiers
         self.policy_log.append((self.sim.now, label))
         self._trace_plain("gfw.policy-change", label=label)
 
@@ -160,7 +167,7 @@ class GreatFirewall(Middlebox):
             return Verdict.PASS
 
         if state.label is None:
-            for classifier in self.classifiers:
+            for classifier in self._classifiers_for(packet.features.protocol_tag):
                 result = classifier.classify(packet, state, self.policy)
                 if result is not None:
                     state.label, state.confidence = result
@@ -186,6 +193,24 @@ class GreatFirewall(Middlebox):
             self._trace("gfw.interference", packet, label=state.label)
             return Verdict.DROP
         return Verdict.PASS
+
+    def _classifiers_for(self, tag: str) -> t.List[Classifier]:
+        """Classifiers whose :attr:`~.dpi.Classifier.match_tags` admit ``tag``.
+
+        Evaluation order within the returned list matches the full
+        chain's, so dispatch is order-equivalent to running every
+        classifier (non-matching ones return ``None`` by contract).
+        """
+        if self._dispatch_snapshot != self.classifiers:
+            self._dispatch_cache = {}
+            self._dispatch_snapshot = list(self.classifiers)
+        matched = self._dispatch_cache.get(tag)
+        if matched is None:
+            matched = [classifier for classifier in self.classifiers
+                       if classifier.match_tags is None
+                       or tag in classifier.match_tags]
+            self._dispatch_cache[tag] = matched
+        return matched
 
     # -- actions ---------------------------------------------------------------------------
 

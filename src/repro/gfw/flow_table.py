@@ -10,9 +10,17 @@ post-keyword-hit connection-reset window).
 from __future__ import annotations
 
 import typing as t
+from collections import deque
 from dataclasses import dataclass, field
 
 FlowKey = t.Tuple[t.Any, ...]
+
+#: Cap on per-flow timing samples.  The meek poll detector only ever
+#: needs its front-seen sentinel plus ``min_polls`` recent timestamps,
+#: but long-lived polling flows used to accumulate one entry per small
+#: packet for the life of the connection — exactly the unbounded-queue
+#: pattern reprolint polices.
+RECENT_TIMES_MAX = 64
 
 
 def canonical_flow(flow: t.Optional[FlowKey]) -> t.Optional[FlowKey]:
@@ -37,8 +45,10 @@ class FlowState:
     #: Assigned traffic-class label, once a classifier fires.
     label: t.Optional[str] = None
     confidence: float = 0.0
-    #: Timestamps of recent small upstream packets (poll detection).
-    recent_times: t.List[float] = field(default_factory=list)
+    #: Timestamps of recent small upstream packets (poll detection);
+    #: bounded — old samples fall off the left.
+    recent_times: t.Deque[float] = field(
+        default_factory=lambda: deque(maxlen=RECENT_TIMES_MAX))
     #: True once an active probe has been dispatched for this flow.
     probed: bool = False
     last_seen: float = 0.0

@@ -1,0 +1,8 @@
+"""``python -m repro.perf`` — alias for the benchmark CLI."""
+
+import sys
+
+from .bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

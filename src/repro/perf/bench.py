@@ -1,0 +1,326 @@
+"""Benchmark CLI: time the hot paths, report speedups, gate regressions.
+
+Run as ``python -m repro.perf.bench`` (or ``python -m repro.perf``).
+Times each optimized hot path against its frozen reference from
+:mod:`repro.perf.reference` (microbenches), plus a small end-to-end
+Figure 7 sweep in three configurations: reference-serial (the seed
+repo's paths), optimized-serial, and optimized-parallel.  Results are
+written as JSON (``BENCH_perf.json`` at the repo root by default).
+
+**Regression gate.**  When a baseline file exists, the run fails (exit
+1) if any *speedup* dropped by more than ``--tolerance`` (default 25%)
+relative to the baseline.  Speedups — reference time over optimized
+time, both measured in the same run on the same machine — are
+self-normalizing, so the gate holds across hardware of very different
+absolute speed; absolute timings are recorded for information only.
+On the first run (no baseline) the gate is skipped and the output file
+becomes the baseline to commit.
+
+Wall-clock timing is deliberately allowed here: ``repro.perf`` is
+host-side measurement tooling, outside reprolint's determinism scopes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import typing as t
+
+SCHEMA = "repro.perf.bench/1"
+
+
+def _best_time(function: t.Callable[[], t.Any], repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall time of one call — robust to noise spikes."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        function()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _corpus(size: int, seed: int = 20160901) -> bytes:
+    """Deterministic pseudo-random byte corpus (SHA-256 counter mode)."""
+    import hashlib
+    out = bytearray()
+    counter = 0
+    while len(out) < size:
+        out += hashlib.sha256(
+            seed.to_bytes(8, "big") + counter.to_bytes(8, "big")).digest()
+        counter += 1
+    return bytes(out[:size])
+
+
+def _entry(reference_s: float, optimized_s: float,
+           **extra: t.Any) -> t.Dict[str, t.Any]:
+    entry = {
+        "reference_s": round(reference_s, 6),
+        "optimized_s": round(optimized_s, 6),
+        "speedup": round(reference_s / optimized_s, 2) if optimized_s else None,
+    }
+    entry.update(extra)
+    return entry
+
+
+# -- microbenches ---------------------------------------------------------------
+
+
+def bench_byte_map(size: int) -> t.Dict[str, t.Any]:
+    from ..core.blinding import ByteMapCodec
+    from .reference import byte_map_decode_reference, byte_map_encode_reference
+
+    codec = ByteMapCodec(b"bench-secret")
+    data = _corpus(size)
+    optimized = _best_time(lambda: codec.decode(codec.encode(data)))
+    reference = _best_time(lambda: byte_map_decode_reference(
+        codec._inverse, byte_map_encode_reference(codec._forward, data)))
+    return _entry(reference, optimized, bytes=size)
+
+
+def bench_affine(size: int) -> t.Dict[str, t.Any]:
+    from ..core.blinding import AffineCodec
+    from .reference import affine_decode_reference, affine_encode_reference
+
+    codec = AffineCodec(167, 89)
+    data = _corpus(size)
+    optimized = _best_time(lambda: codec.decode(codec.encode(data)))
+    reference = _best_time(lambda: affine_decode_reference(
+        codec._inverse_multiplier, codec.offset,
+        affine_encode_reference(codec.multiplier, codec.offset, data)))
+    return _entry(reference, optimized, bytes=size)
+
+
+def bench_aes_block(blocks: int) -> t.Dict[str, t.Any]:
+    from ..crypto.aes import AES
+    from .reference import reference_decrypt_block, reference_encrypt_block
+
+    aes = AES(_corpus(32, seed=7))
+    block = _corpus(16, seed=8)
+
+    def optimized_run() -> None:
+        for _ in range(blocks):
+            block_out = aes.encrypt_block(block)
+            aes.decrypt_block(block_out)
+
+    def reference_run() -> None:
+        for _ in range(blocks):
+            block_out = reference_encrypt_block(aes, block)
+            reference_decrypt_block(aes, block_out)
+
+    return _entry(_best_time(reference_run), _best_time(optimized_run),
+                  blocks=blocks)
+
+
+def bench_cfb(size: int) -> t.Dict[str, t.Any]:
+    from ..crypto.modes import CfbCipher
+    from .reference import ReferenceCfbCipher
+
+    key, iv = _corpus(32, seed=9), _corpus(16, seed=10)
+    data = _corpus(size)
+    optimized = _best_time(lambda: CfbCipher(key, iv).encrypt(data))
+    reference = _best_time(lambda: ReferenceCfbCipher(key, iv).encrypt(data))
+    return _entry(reference, optimized, bytes=size)
+
+
+def bench_ctr(size: int) -> t.Dict[str, t.Any]:
+    from ..crypto import modes
+    from .reference import ReferenceCtrCipher
+
+    key, nonce = _corpus(32, seed=11), _corpus(16, seed=12)
+    data = _corpus(size)
+
+    def optimized_run() -> None:
+        # Start from a cold keystream cache so the timing reflects the
+        # block-wise path, not cache hits from the previous repeat.
+        modes._CTR_BLOCK_CACHE.clear()
+        modes.CtrCipher(key, nonce).process(data)
+
+    optimized = _best_time(optimized_run)
+    reference = _best_time(lambda: ReferenceCtrCipher(key, nonce).process(data))
+    return _entry(reference, optimized, bytes=size)
+
+
+def bench_dpi_dispatch(packets: int) -> t.Dict[str, t.Any]:
+    """Steady-state relay packets through the firewall pipeline.
+
+    A blinded ScholarCloud stream (``unclassified`` tag) matches no
+    classifier: the dispatch index consults zero classifiers per packet
+    where the reference chain ran all six.
+    """
+    from ..gfw.blocklist import default_china_policy
+    from ..gfw.firewall import GfwConfig, GreatFirewall
+    from ..net import IPv4Address, Packet, WireFeatures
+    from ..sim import Simulator
+    from .reference import patched_reference_paths
+
+    def build() -> t.Tuple[GreatFirewall, Packet]:
+        gfw = GreatFirewall(
+            Simulator(seed=0), default_china_policy(),
+            config=GfwConfig(dns_poisoning=False, active_probing=False))
+        packet = Packet(
+            src=IPv4Address("10.0.0.1"), dst=IPv4Address("172.16.0.9"),
+            protocol="tcp", payload=None, size=1200,
+            features=WireFeatures(protocol_tag="unclassified", entropy=7.9),
+            flow=("tcp", "10.0.0.1", 40000, "172.16.0.9", 443))
+        return gfw, packet
+
+    def drive() -> None:
+        gfw, packet = build()
+        for _ in range(packets):
+            gfw.process(packet, None, None)  # type: ignore[arg-type]
+
+    optimized = _best_time(drive)
+    with patched_reference_paths():
+        reference = _best_time(drive)
+    return _entry(reference, optimized, packets=packets)
+
+
+# -- end-to-end Figure 7 sweep --------------------------------------------------
+
+
+def bench_fig7(methods: t.Sequence[str], levels: t.Sequence[int],
+               workers: t.Optional[int]) -> t.Dict[str, t.Any]:
+    from .reference import patched_reference_paths
+    from .runner import run_points, scalability_points, serial_map
+
+    points = scalability_points(methods, levels, cycles=1, seed=0)
+
+    serial_results: t.List[t.Any] = []
+    optimized_serial = _best_time(
+        lambda: serial_results.__setitem__(
+            slice(None), serial_map(points)), repeat=1)
+    parallel_results: t.List[t.Any] = []
+    optimized_parallel = _best_time(
+        lambda: parallel_results.__setitem__(
+            slice(None), run_points(points, workers=workers)), repeat=1)
+    with patched_reference_paths():
+        reference_serial = _best_time(lambda: serial_map(points), repeat=1)
+
+    entry = _entry(reference_serial, optimized_parallel,
+                   points=len(points),
+                   methods=list(methods), levels=[int(l) for l in levels])
+    entry["optimized_serial_s"] = round(optimized_serial, 6)
+    entry["parallel_speedup"] = (
+        round(optimized_serial / optimized_parallel, 2)
+        if optimized_parallel else None)
+    entry["parallel_identical"] = serial_results == parallel_results
+    return entry
+
+
+# -- gate -----------------------------------------------------------------------
+
+
+def _iter_speedups(report: t.Dict[str, t.Any]) -> t.Iterator[t.Tuple[str, float]]:
+    for section in ("micro", "e2e"):
+        for name, entry in report.get(section, {}).items():
+            speedup = entry.get("speedup")
+            if isinstance(speedup, (int, float)):
+                yield f"{section}.{name}", float(speedup)
+
+
+def compare_to_baseline(report: t.Dict[str, t.Any],
+                        baseline: t.Dict[str, t.Any],
+                        tolerance: float) -> t.List[str]:
+    """Regressions: speedups that fell >``tolerance`` below the baseline."""
+    failures = []
+    current = dict(_iter_speedups(report))
+    for name, old in _iter_speedups(baseline):
+        new = current.get(name)
+        if new is None:
+            failures.append(f"{name}: benchmark disappeared "
+                            f"(baseline speedup {old:.2f}x)")
+        elif new < old / (1.0 + tolerance):
+            failures.append(f"{name}: speedup regressed {old:.2f}x -> "
+                            f"{new:.2f}x (tolerance {tolerance:.0%})")
+    return failures
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+def run_bench(quick: bool, workers: t.Optional[int]) -> t.Dict[str, t.Any]:
+    size = 16 * 1024 if quick else 128 * 1024
+    blocks = 200 if quick else 1000
+    packets = 2000 if quick else 20000
+    methods = ("scholarcloud", "shadowsocks")
+    levels = (5,) if quick else (5, 10)
+    report: t.Dict[str, t.Any] = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "micro": {
+            "byte-map-codec": bench_byte_map(size),
+            "affine-codec": bench_affine(size),
+            "aes-block": bench_aes_block(blocks),
+            "cfb-stream": bench_cfb(size),
+            "ctr-stream": bench_ctr(size),
+            "dpi-dispatch": bench_dpi_dispatch(packets),
+        },
+    }
+    report["e2e"] = {
+        "fig7-sweep": bench_fig7(methods, levels, workers),
+    }
+    return report
+
+
+def main(argv: t.Optional[t.Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="Hot-path benchmarks with a speedup-regression gate.")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpora and sweep (CI-sized run)")
+    parser.add_argument("--output", default="BENCH_perf.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to gate against "
+                             "(default: the --output path, if present)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup regression (0.25 = 25%%)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel sweep worker count (default: CPUs)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="measure and write the report, skip the gate")
+    options = parser.parse_args(argv)
+
+    baseline_path = options.baseline or options.output
+    baseline: t.Optional[t.Dict[str, t.Any]] = None
+    if os.path.exists(baseline_path):
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+
+    report = run_bench(quick=options.quick, workers=options.workers)
+
+    with open(options.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for name, speedup in _iter_speedups(report):
+        print(f"{name:24s} {speedup:8.2f}x")
+    fig7 = report["e2e"]["fig7-sweep"]
+    print(f"fig7 parallel == serial: {fig7['parallel_identical']}")
+    print(f"report written to {options.output}")
+
+    if not fig7["parallel_identical"]:
+        print("FAIL: parallel sweep results differ from serial",
+              file=sys.stderr)
+        return 1
+    if options.no_gate:
+        return 0
+    if baseline is None:
+        print(f"no baseline at {baseline_path}; gate skipped "
+              "(commit the report as the baseline)")
+        return 0
+    failures = compare_to_baseline(report, baseline, options.tolerance)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,15 +36,39 @@ class Event:
         processes of the same simulator.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_decided", "_processed")
+    __slots__ = ("sim", "_callbacks", "_value", "_ok", "_decided", "_processed")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self.callbacks: t.Optional[t.List[t.Callable[["Event"], None]]] = []
+        # Waiter storage is adaptive: None (no waiters), a bare callable
+        # (the overwhelmingly common single-waiter case — one process
+        # awaiting one event), or a list once a second waiter appears.
+        # Most events never pay for a list allocation.
+        self._callbacks: t.Union[None, t.Callable[["Event"], None],
+                                 t.List[t.Callable[["Event"], None]]] = None
         self._value: t.Any = None
         self._ok: t.Optional[bool] = None
         self._decided = False
         self._processed = False
+
+    @classmethod
+    def _prompt(cls, sim: "Simulator", callback: t.Callable[["Event"], None],
+                ok: bool = True, value: t.Any = None,
+                priority: int = PRIORITY_NORMAL) -> "Event":
+        """A pre-decided single-waiter event, scheduled in one step.
+
+        Used by the kernel for process bootstrap and interrupts: one
+        allocation and one heap push, consuming exactly one sequence
+        number — the same queue footprint as ``Event().succeed()`` plus
+        ``add_callback`` took, so event ordering is unchanged.
+        """
+        event = cls(sim)
+        event._decided = True
+        event._ok = ok
+        event._value = value
+        event._callbacks = callback
+        sim._schedule_event(event, priority, 0.0)
+        return event
 
     # -- state inspection ------------------------------------------------
 
@@ -96,11 +120,15 @@ class Event:
 
     def _run_callbacks(self) -> None:
         """Invoked by the kernel when the event is popped from the queue."""
-        callbacks, self.callbacks = self.callbacks, None
+        callbacks, self._callbacks = self._callbacks, None
         self._processed = True
-        if callbacks:
+        if callbacks is None:
+            return
+        if type(callbacks) is list:
             for callback in callbacks:
                 callback(self)
+        else:
+            callbacks(self)
 
     def add_callback(self, callback: t.Callable[["Event"], None]) -> None:
         """Register ``callback(event)`` to run when the event fires.
@@ -108,10 +136,16 @@ class Event:
         If the event has already been processed the callback runs
         immediately, so late subscribers do not deadlock.
         """
-        if self.callbacks is None:
+        if self._processed:
             callback(self)
+            return
+        current = self._callbacks
+        if current is None:
+            self._callbacks = callback
+        elif type(current) is list:
+            current.append(callback)
         else:
-            self.callbacks.append(callback)
+            self._callbacks = [current, callback]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self._processed else (

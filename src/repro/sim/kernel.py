@@ -50,9 +50,7 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: t.Optional[Event] = None
         # Kick-start the generator at the current simulated time.
-        bootstrap = Event(sim)
-        bootstrap.succeed(None)
-        bootstrap.add_callback(self._resume)
+        Event._prompt(sim, self._resume)
 
     @property
     def is_alive(self) -> bool:
@@ -69,12 +67,8 @@ class Process(Event):
         """
         if self.triggered:
             return
-        interrupt_event = Event(self.sim)
-        interrupt_event._decided = True
-        interrupt_event._ok = False
-        interrupt_event._value = ProcessKilled(cause)
-        interrupt_event.callbacks.append(self._resume)
-        self.sim._schedule_event(interrupt_event, PRIORITY_URGENT, 0.0)
+        Event._prompt(self.sim, self._resume, ok=False,
+                      value=ProcessKilled(cause), priority=PRIORITY_URGENT)
 
     def _resume(self, event: Event) -> None:
         if self.triggered:

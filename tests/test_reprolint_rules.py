@@ -433,3 +433,85 @@ def test_silent_except_suppression_comment():
             pass
     """)
     assert findings == []
+
+
+# -- unbounded-queue ------------------------------------------------------------
+
+
+def test_unbounded_growth_in_forever_loop_flagged():
+    findings = lint("""
+        def pump(queue):
+            backlog = []
+            while True:
+                backlog.append(recv())
+    """)
+    assert rule_ids(findings) == ["unbounded-queue"]
+
+
+def test_per_iteration_batch_not_flagged():
+    assert lint("""
+        def pump(queue):
+            while True:
+                batch = []
+                batch.append(recv())
+                flush(batch)
+    """) == []
+
+
+def test_dataclass_list_field_flagged():
+    findings = lint("""
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class FlowState:
+            recent: list = field(default_factory=list)
+    """)
+    assert rule_ids(findings) == ["unbounded-queue"]
+
+
+def test_dataclass_lambda_list_and_bare_deque_flagged():
+    findings = lint("""
+        import dataclasses
+        from collections import deque
+        from dataclasses import field
+
+        @dataclasses.dataclass(frozen=True)
+        class FlowState:
+            times: object = field(default_factory=lambda: [])
+            waiting: object = field(default_factory=deque)
+            worst: object = field(default_factory=lambda: deque(maxlen=None))
+    """)
+    assert rule_ids(findings) == ["unbounded-queue"] * 3
+
+
+def test_dataclass_bounded_deque_not_flagged():
+    assert lint("""
+        from collections import deque
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class FlowState:
+            recent: object = field(default_factory=lambda: deque(maxlen=64))
+            counts: dict = field(default_factory=dict)
+            name: object = field(default_factory=str)
+    """) == []
+
+
+def test_dataclass_field_out_of_scope_not_flagged():
+    assert lint("""
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class Report:
+            rows: list = field(default_factory=list)
+    """, module="repro.measure.fixture") == []
+
+
+def test_dataclass_field_suppression_comment():
+    assert lint("""
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class Audit:
+            log: list = field(default_factory=list)  # reprolint: disable=unbounded-queue
+    """) == []
