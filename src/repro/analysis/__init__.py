@@ -21,7 +21,10 @@ from .engine import (
     Config,
     Finding,
     ModuleContext,
+    Project,
+    ProjectRule,
     Rule,
+    STALE_SUPPRESSION_ID,
     Severity,
     in_scope,
     load_config,
@@ -29,20 +32,28 @@ from .engine import (
     parse_config,
     render_findings,
 )
-from .rules import RULES, default_rules
+from .rules import PROJECT_RULES, RULES, default_project_rules, default_rules
+from .sarif import render_sarif, to_sarif
 
 __all__ = [
+    "PROJECT_RULES",
     "RULES",
+    "STALE_SUPPRESSION_ID",
     "Analyzer",
     "Config",
     "Finding",
     "ModuleContext",
+    "Project",
+    "ProjectRule",
     "Rule",
     "Severity",
+    "default_project_rules",
     "default_rules",
     "in_scope",
     "load_config",
     "module_name_for",
     "parse_config",
     "render_findings",
+    "render_sarif",
+    "to_sarif",
 ]

@@ -11,8 +11,9 @@ import sys
 import typing as t
 from pathlib import Path
 
-from .engine import Analyzer, Severity, load_config, parse_config, render_findings
-from .rules import default_rules
+from .engine import (Analyzer, STALE_SUPPRESSION_ID, Severity, load_config,
+                     parse_config, render_findings)
+from .rules import default_project_rules, default_rules
 
 
 def main(argv: t.Optional[t.Sequence[str]] = None) -> int:
@@ -23,6 +24,10 @@ def main(argv: t.Optional[t.Sequence[str]] = None) -> int:
                         help="files or directories (default: src/repro)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit findings as JSON")
+    parser.add_argument("--sarif", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="emit findings as SARIF 2.1.0 to PATH "
+                             "(or stdout when no PATH is given)")
     parser.add_argument("--config", type=Path, default=None,
                         help="pyproject.toml to read [tool.reprolint] from")
     parser.add_argument("--list-rules", action="store_true",
@@ -30,8 +35,10 @@ def main(argv: t.Optional[t.Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in default_rules():
+        for rule in [*default_rules(), *default_project_rules()]:
             print(f"{rule.id:24} {rule.severity.value:8} {rule.description}")
+        print(f"{STALE_SUPPRESSION_ID:24} {'error':8} "
+              "suppression comment that no longer suppresses any finding")
         return 0
 
     paths = [Path(p) for p in args.paths]
@@ -52,9 +59,21 @@ def main(argv: t.Optional[t.Sequence[str]] = None) -> int:
         config = load_config(paths[0].resolve())
     analyzer = Analyzer(config=config)
     findings = analyzer.analyze_paths(paths)
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    if args.sarif is not None:
+        from .sarif import render_sarif
+
+        document = render_sarif(findings)
+        if args.sarif == "-":
+            print(document)
+        else:
+            Path(args.sarif).write_text(document + "\n", encoding="utf-8")
+            print(f"reprolint: wrote SARIF to {args.sarif} "
+                  f"({len(findings)} finding(s), {len(errors)} error(s))",
+                  file=sys.stderr)
+        return 1 if errors else 0
     if findings:
         print(render_findings(findings, as_json=args.as_json))
-    errors = [f for f in findings if f.severity is Severity.ERROR]
     if not args.as_json:
         print(f"reprolint: {len(findings)} finding(s), {len(errors)} error(s)",
               file=sys.stderr)

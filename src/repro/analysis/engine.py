@@ -24,13 +24,18 @@ from __future__ import annotations
 import ast
 import enum
 import fnmatch
+import io
 import json
 import re
+import tokenize
 import typing as t
 from dataclasses import dataclass, field
 from pathlib import Path
 
 _SUPPRESSION = re.compile(r"#\s*reprolint:\s*disable=([\w\-, ]+)")
+
+#: Rule id of the built-in stale-suppression meta check (see Analyzer).
+STALE_SUPPRESSION_ID = "stale-suppression"
 
 
 class Severity(enum.Enum):
@@ -162,24 +167,60 @@ class ModuleContext:
         self.source = source
         self.tree = tree if tree is not None else ast.parse(source, filename=path)
         self.file_suppressions: t.Set[str] = set()
+        #: Line the file-level suppression comment for each rule sits on.
+        self.file_suppression_lines: t.Dict[str, int] = {}
         self.line_suppressions: t.Dict[int, t.Set[str]] = {}
+        #: ``(line-or-None, token)`` pairs that suppressed a real finding;
+        #: consumed by the stale-suppression detector after a full run.
+        self.used_suppressions: t.Set[t.Tuple[t.Optional[int], str]] = set()
         self._parse_suppressions()
 
+    def _iter_comments(self) -> t.Iterator[t.Tuple[int, int, str]]:
+        """Yield ``(line, col, text)`` for real COMMENT tokens only.
+
+        Tokenizing (rather than regexing every line) keeps suppression
+        syntax quoted inside strings and docstrings from counting as a
+        suppression — and, with the stale detector, from being flagged
+        as a stale one.  Falls back to the line scan on tokenize errors.
+        """
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(self.source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            for lineno, line in enumerate(self.source.splitlines(), start=1):
+                position = line.find("#")
+                if position >= 0:
+                    yield lineno, position, line[position:]
+            return
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+
     def _parse_suppressions(self) -> None:
-        for lineno, line in enumerate(self.source.splitlines(), start=1):
-            match = _SUPPRESSION.search(line)
+        lines = self.source.splitlines()
+        for lineno, col, comment in self._iter_comments():
+            match = _SUPPRESSION.search(comment)
             if match is None:
                 continue
             rules = {name.strip() for name in match.group(1).split(",") if name.strip()}
-            if line.strip().startswith("#"):
-                self.file_suppressions |= rules
+            code_before = lines[lineno - 1][:col] if lineno <= len(lines) else ""
+            if not code_before.strip():
+                for rule in rules:
+                    self.file_suppressions.add(rule)
+                    self.file_suppression_lines.setdefault(rule, lineno)
             else:
                 self.line_suppressions.setdefault(lineno, set()).update(rules)
 
     def suppressed(self, rule_id: str, line: int) -> bool:
-        if self.file_suppressions & {rule_id, "all"}:
+        file_hits = self.file_suppressions & {rule_id, "all"}
+        if file_hits:
+            self.used_suppressions.update((None, token) for token in file_hits)
             return True
-        return bool(self.line_suppressions.get(line, set()) & {rule_id, "all"})
+        line_hits = self.line_suppressions.get(line, set()) & {rule_id, "all"}
+        if line_hits:
+            self.used_suppressions.update((line, token) for token in line_hits)
+            return True
+        return False
 
 
 class Rule(ast.NodeVisitor):
@@ -223,16 +264,106 @@ class Rule(ast.NodeVisitor):
             message=message))
 
 
+class Project:
+    """All parsed modules of one analysis run, plus derived structures.
+
+    Project-scoped rules (see :class:`ProjectRule`) receive this object:
+    it owns every :class:`ModuleContext` and lazily builds the shared
+    call graph so several rules can make transitive queries without
+    each paying to construct it.
+    """
+
+    def __init__(self, contexts: t.Sequence[ModuleContext]) -> None:
+        self.contexts = list(contexts)
+        self._callgraph: t.Optional[t.Any] = None
+
+    @property
+    def callgraph(self):
+        """The project-wide call graph, built on first use."""
+        if self._callgraph is None:
+            from .flow.callgraph import CallGraph
+            self._callgraph = CallGraph.build(self.contexts)
+        return self._callgraph
+
+
+class ProjectRule:
+    """Base class for rules that need the whole project at once.
+
+    Unlike :class:`Rule` (one fresh visitor per module), a project rule
+    is constructed once per run and handed the :class:`Project`, so it
+    can correlate facts across files — call-graph reachability, global
+    registries, cross-module schema conformance.  Scoping still applies
+    per module: use :meth:`contexts` to iterate only in-scope files, and
+    :meth:`report` to emit findings with normal suppression handling.
+    """
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    default_scope: t.Tuple[str, ...] = ("repro",)
+    default_exempt: t.Tuple[str, ...] = ()
+
+    def __init__(self, config: Config,
+                 severity: t.Optional[Severity] = None) -> None:
+        self.config = config
+        self.findings: t.List[Finding] = []
+        self._severity = severity if severity is not None else self.severity
+
+    @classmethod
+    def applies_to(cls, module: str, config: Config) -> bool:
+        scope = config.scopes.get(cls.id, cls.default_scope)
+        exempt = config.exemptions.get(cls.id, cls.default_exempt)
+        return in_scope(module, scope) and not in_scope(module, exempt)
+
+    def run(self, project: Project) -> t.List[Finding]:
+        raise NotImplementedError
+
+    def contexts(self, project: Project) -> t.List[ModuleContext]:
+        """The project's modules that fall inside this rule's scope."""
+        return [ctx for ctx in project.contexts
+                if type(self).applies_to(ctx.module, self.config)]
+
+    def report(self, ctx: ModuleContext, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if ctx.suppressed(self.id, line):
+            return
+        self.findings.append(Finding(
+            rule=self.id, severity=self._severity, path=ctx.path,
+            line=line, col=getattr(node, "col_offset", 0) + 1,
+            message=message))
+
+
 class Analyzer:
-    """Applies a rule pack to files, sources, or whole trees."""
+    """Applies a rule pack to files, sources, or whole trees.
+
+    Two rule layers run over every target: per-module :class:`Rule`
+    visitors, then :class:`ProjectRule` passes across all parsed modules
+    at once (CFG/dataflow rules, call-graph queries, cross-module
+    registries).  A final built-in pass flags stale suppressions —
+    ``# reprolint: disable=`` comments that no longer suppress any
+    finding of an enabled, in-scope rule (rule id
+    ``stale-suppression``).
+    """
 
     def __init__(self, rules: t.Optional[t.Sequence[t.Type[Rule]]] = None,
-                 config: t.Optional[Config] = None) -> None:
+                 config: t.Optional[Config] = None,
+                 project_rules: t.Optional[t.Sequence[t.Type[ProjectRule]]] = None) -> None:
+        explicit_rules = rules is not None
         if rules is None:
             from .rules import default_rules
             rules = default_rules()
+        if project_rules is None:
+            if explicit_rules:
+                # An explicit file-rule pack means "run exactly these".
+                project_rules = ()
+            else:
+                from .rules import default_project_rules
+                project_rules = default_project_rules()
         self.rules = list(rules)
+        self.project_rules = list(project_rules)
         self.config = config if config is not None else Config()
+
+    # -- single-module entry points ------------------------------------------------
 
     def analyze_source(self, source: str, path: str = "<string>",
                        module: t.Optional[str] = None) -> t.List[Finding]:
@@ -246,14 +377,9 @@ class Analyzer:
                 rule="parse-error", severity=Severity.ERROR, path=path,
                 line=exc.lineno or 1, col=(exc.offset or 0) + 1,
                 message=f"could not parse: {exc.msg}")]
-        findings: t.List[Finding] = []
-        for rule_cls in self.rules:
-            if not self.config.rule_enabled(rule_cls.id):
-                continue
-            if not rule_cls.applies_to(module, self.config):
-                continue
-            severity = self.config.severities.get(rule_cls.id)
-            findings.extend(rule_cls(ctx, severity=severity).run())
+        findings = self._run_file_rules(ctx)
+        findings.extend(self._run_project_rules(Project([ctx])))
+        findings.extend(self._stale_suppressions(ctx))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return findings
 
@@ -262,16 +388,118 @@ class Analyzer:
         source = path.read_text(encoding="utf-8")
         return self.analyze_source(source, path=path.as_posix())
 
+    # -- whole-tree entry point ------------------------------------------------------
+
     def analyze_paths(self, paths: t.Iterable[t.Union[str, Path]]) -> t.List[Finding]:
-        """Analyze files and/or directory trees of ``*.py`` files."""
+        """Analyze files and/or directory trees of ``*.py`` files.
+
+        All files are parsed up front so project rules see one coherent
+        project; per-module findings keep their historical ordering
+        (grouped by file), project-rule and stale-suppression findings
+        are appended sorted.
+        """
         findings: t.List[Finding] = []
+        contexts: t.List[ModuleContext] = []
         for target in paths:
             target = Path(target)
             files = sorted(target.rglob("*.py")) if target.is_dir() else [target]
             for file in files:
                 if self.config.path_exempt(file):
                     continue
-                findings.extend(self.analyze_file(file))
+                source = file.read_text(encoding="utf-8")
+                posix = file.as_posix()
+                try:
+                    ctx = ModuleContext(posix, module_name_for(file), source)
+                except SyntaxError as exc:
+                    findings.append(Finding(
+                        rule="parse-error", severity=Severity.ERROR,
+                        path=posix, line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        message=f"could not parse: {exc.msg}"))
+                    continue
+                contexts.append(ctx)
+                findings.extend(self._run_file_rules(ctx))
+        late: t.List[Finding] = list(self._run_project_rules(Project(contexts)))
+        for ctx in contexts:
+            late.extend(self._stale_suppressions(ctx))
+        late.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        findings.extend(late)
+        return findings
+
+    # -- passes --------------------------------------------------------------------
+
+    def _run_file_rules(self, ctx: ModuleContext) -> t.List[Finding]:
+        findings: t.List[Finding] = []
+        for rule_cls in self.rules:
+            if not self.config.rule_enabled(rule_cls.id):
+                continue
+            if not rule_cls.applies_to(ctx.module, self.config):
+                continue
+            severity = self.config.severities.get(rule_cls.id)
+            findings.extend(rule_cls(ctx, severity=severity).run())
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    def _run_project_rules(self, project: Project) -> t.List[Finding]:
+        findings: t.List[Finding] = []
+        for rule_cls in self.project_rules:
+            if not self.config.rule_enabled(rule_cls.id):
+                continue
+            severity = self.config.severities.get(rule_cls.id)
+            findings.extend(rule_cls(self.config, severity=severity).run(project))
+        return findings
+
+    # -- stale suppressions ---------------------------------------------------------
+
+    def _active_rule_ids(self, module: str) -> t.Set[str]:
+        """Rule ids that actually ran against ``module`` this run."""
+        active: t.Set[str] = set()
+        for rule_cls in [*self.rules, *self.project_rules]:
+            if (self.config.rule_enabled(rule_cls.id)
+                    and rule_cls.applies_to(module, self.config)):
+                active.add(rule_cls.id)
+        return active
+
+    def _stale_suppressions(self, ctx: ModuleContext) -> t.List[Finding]:
+        """Flag suppression tokens that suppressed nothing this run.
+
+        A token is judged only when its rule was enabled and in scope
+        for the module (otherwise nothing could have matched it, and
+        removing it would be wrong); unknown rule ids are always
+        flagged — they are typos that never suppressed anything.
+        """
+        if not self.config.rule_enabled(STALE_SUPPRESSION_ID):
+            return []
+        known = {rule_cls.id for rule_cls in [*self.rules, *self.project_rules]}
+        active = self._active_rule_ids(ctx.module)
+        severity = self.config.severities.get(STALE_SUPPRESSION_ID,
+                                              Severity.ERROR)
+        findings: t.List[Finding] = []
+
+        def judge(token: str, line_key: t.Optional[int], line: int) -> None:
+            if (line_key, token) in ctx.used_suppressions:
+                return
+            if token == "all":
+                if not active:
+                    return
+                detail = "disable=all suppresses no finding"
+            elif token not in known:
+                detail = (f"disable={token} names no known rule "
+                          "(typo, or the rule was removed)")
+            elif token not in active:
+                return  # disabled or out of scope: cannot judge
+            else:
+                detail = f"disable={token} no longer suppresses any finding"
+            findings.append(Finding(
+                rule=STALE_SUPPRESSION_ID, severity=severity, path=ctx.path,
+                line=line, col=1,
+                message=f"stale suppression: {detail}; remove the comment"))
+
+        for token in sorted(ctx.file_suppressions):
+            judge(token, None, ctx.file_suppression_lines.get(token, 1))
+        for line, tokens in sorted(ctx.line_suppressions.items()):
+            for token in sorted(tokens):
+                judge(token, line, line)
         return findings
 
 

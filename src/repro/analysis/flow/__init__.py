@@ -1,0 +1,24 @@
+"""CFG construction, dataflow solving, and flow-rule support tables."""
+
+from .cfg import (CFG, EdgeKind, Node, build_cfg, node_asts,
+                  EXCEPTION_HIERARCHY, exception_ancestors)
+from .dataflow import ForwardAnalysis, ReachingDefinitions, assigned_names
+from .callgraph import CallGraph, FunctionInfo
+from .resources import (RESOURCE_SPECS, ResourceSpec, ResourceTracker,
+                        RaiseOracle, may_raise_policy, find_leaks,
+                        UNACQUIRED, RELEASED, ACQUIRED)
+from .manifest import (STREAM_MANIFEST, DYNAMIC_STREAM_PREFIXES,
+                       REGISTRY_OWNERS)
+from .wire import WIRE_SCHEMAS, arity_ok, max_arity
+
+__all__ = [
+    "CFG", "EdgeKind", "Node", "build_cfg", "node_asts",
+    "EXCEPTION_HIERARCHY", "exception_ancestors",
+    "ForwardAnalysis", "ReachingDefinitions", "assigned_names",
+    "CallGraph", "FunctionInfo",
+    "RESOURCE_SPECS", "ResourceSpec", "ResourceTracker", "RaiseOracle",
+    "may_raise_policy", "find_leaks",
+    "UNACQUIRED", "RELEASED", "ACQUIRED",
+    "STREAM_MANIFEST", "DYNAMIC_STREAM_PREFIXES", "REGISTRY_OWNERS",
+    "WIRE_SCHEMAS", "arity_ok", "max_arity",
+]

@@ -1,0 +1,167 @@
+"""A project-wide call graph for transitive queries.
+
+Resolution is name-based and deliberately modest: ``self.method()``
+resolves within the receiver's class (then its bases, project-wide by
+class name), and bare ``function()`` calls resolve to module-level
+functions of the same module.  That covers the repo's dominant call
+shapes — proxy helpers, middleware hops, release wrappers — without
+pretending to do type inference.  Unresolved calls simply yield no
+edge; clients must treat absence as "unknown", not "safe".
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import ModuleContext
+
+
+class FunctionInfo:
+    """One function or method discovered in the project."""
+
+    __slots__ = ("module", "cls", "name", "qualname", "node", "ctx",
+                 "is_generator")
+
+    def __init__(self, module: str, cls: t.Optional[str], name: str,
+                 node: t.Union[ast.FunctionDef, ast.AsyncFunctionDef],
+                 ctx: "ModuleContext") -> None:
+        self.module = module
+        self.cls = cls
+        self.name = name
+        self.qualname = ".".join(
+            part for part in (module, cls, name) if part)
+        self.node = node
+        self.ctx = ctx
+        self.is_generator = _is_generator(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FunctionInfo {self.qualname}>"
+
+
+def _is_generator(node: t.Union[ast.FunctionDef,
+                                ast.AsyncFunctionDef]) -> bool:
+    """Does calling this function merely create a generator?
+
+    Yields inside nested defs/lambdas belong to those functions, so
+    the scan does not descend into them.
+    """
+    stack: t.List[ast.AST] = list(node.body)
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+    return False
+
+
+class CallGraph:
+    """All project functions plus name-resolved call edges."""
+
+    def __init__(self) -> None:
+        self.functions: t.Dict[str, FunctionInfo] = {}
+        self._methods: t.Dict[t.Tuple[str, t.Optional[str], str],
+                              FunctionInfo] = {}
+        self._bases: t.Dict[t.Tuple[str, str], t.Tuple[str, ...]] = {}
+        self._classes_by_name: t.Dict[str, t.List[t.Tuple[str, str]]] = {}
+
+    @classmethod
+    def build(cls, contexts: t.Sequence["ModuleContext"]) -> "CallGraph":
+        graph = cls()
+        for ctx in contexts:
+            graph._collect(ctx)
+        return graph
+
+    def _collect(self, ctx: "ModuleContext") -> None:
+        def visit(node: ast.AST, owner_cls: t.Optional[str]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    bases = tuple(
+                        base.id if isinstance(base, ast.Name) else base.attr
+                        for base in child.bases
+                        if isinstance(base, (ast.Name, ast.Attribute)))
+                    self._bases[(ctx.module, child.name)] = bases
+                    self._classes_by_name.setdefault(child.name, []).append(
+                        (ctx.module, child.name))
+                    visit(child, child.name)
+                elif isinstance(child, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                    info = FunctionInfo(ctx.module, owner_cls, child.name,
+                                        child, ctx)
+                    self.functions[info.qualname] = info
+                    self._methods[(ctx.module, owner_cls, child.name)] = info
+                    # Nested defs are collected under the same class
+                    # key space but shadowed lookups favour the outer.
+                    visit(child, owner_cls)
+
+        visit(ctx.tree, None)
+
+    # -- resolution -----------------------------------------------------------
+
+    def function(self, module: str, name: str) -> t.Optional[FunctionInfo]:
+        """A module-level function of ``module``."""
+        return self._methods.get((module, None, name))
+
+    def method(self, module: str, cls: t.Optional[str],
+               name: str) -> t.Optional[FunctionInfo]:
+        """Resolve ``self.name()`` from a method of ``module.cls``.
+
+        Walks the class, then its bases by name (same module first,
+        then any project class of that name).
+        """
+        direct = self._methods.get((module, cls, name))
+        if direct is not None:
+            return direct
+        if cls is None:
+            return None
+        seen: t.Set[t.Tuple[str, str]] = set()
+        queue: t.List[t.Tuple[str, str]] = [(module, cls)]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            hit = self._methods.get((current[0], current[1], name))
+            if hit is not None:
+                return hit
+            for base in self._bases.get(current, ()):
+                if (current[0], base) in self._bases:
+                    queue.append((current[0], base))
+                else:
+                    queue.extend(self._classes_by_name.get(base, ()))
+        return None
+
+    def callees(self, info: FunctionInfo) -> t.List[FunctionInfo]:
+        """Resolved direct callees of ``info`` (self + module calls)."""
+        out: t.List[FunctionInfo] = []
+        seen: t.Set[str] = set()
+        for call in (n for n in ast.walk(info.node)
+                     if isinstance(n, ast.Call)):
+            target: t.Optional[FunctionInfo] = None
+            func = call.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "self"):
+                target = self.method(info.module, info.cls, func.attr)
+            elif isinstance(func, ast.Name):
+                target = self.function(info.module, func.id)
+            if target is not None and target.qualname not in seen:
+                seen.add(target.qualname)
+                out.append(target)
+        return out
+
+    def transitive_callees(self, info: FunctionInfo) -> t.Set[str]:
+        """Qualnames reachable from ``info`` through resolved edges."""
+        reached: t.Set[str] = set()
+        queue = [info]
+        while queue:
+            current = queue.pop()
+            for callee in self.callees(current):
+                if callee.qualname not in reached:
+                    reached.add(callee.qualname)
+                    queue.append(callee)
+        return reached

@@ -1,0 +1,147 @@
+"""A worklist solver for forward dataflow problems over a CFG.
+
+Analyses subclass :class:`ForwardAnalysis` and define the fact
+domain: the entry fact, the transfer function, and the join.  The
+solver propagates facts along edges until fixpoint; along ``EXCEPT``
+edges it propagates :meth:`exceptional_out`, which defaults to the
+*in*-fact — the Python model where an exception aborts a statement
+before its effect lands (an assignment that raised never assigned).
+
+Facts must be comparable with ``==`` and must not be mutated in
+place; transfer functions return fresh values.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from .cfg import CFG, EdgeKind, Node, node_asts
+
+Fact = t.TypeVar("Fact")
+
+
+class ForwardAnalysis(t.Generic[Fact]):
+    """One forward dataflow problem; see module docstring."""
+
+    def initial(self, cfg: CFG) -> Fact:
+        """The fact entering the function."""
+        raise NotImplementedError
+
+    def transfer(self, node: Node, fact: Fact) -> Fact:
+        """The fact after ``node`` executes normally."""
+        raise NotImplementedError
+
+    def exceptional_out(self, node: Node, fact: Fact) -> Fact:
+        """The fact flowing along ``node``'s exception edges."""
+        return fact
+
+    def join(self, left: Fact, right: Fact) -> Fact:
+        """Combine facts where control paths merge."""
+        raise NotImplementedError
+
+    def run(self, cfg: CFG) -> t.Dict[int, Fact]:
+        """Solve to fixpoint; returns the *in*-fact of each reached node.
+
+        Unreachable nodes (dead handlers, code after an infinite
+        loop) are absent from the result.
+        """
+        in_facts: t.Dict[int, Fact] = {cfg.entry: self.initial(cfg)}
+        work: t.List[int] = [cfg.entry]
+        while work:
+            index = work.pop()
+            node = cfg.node(index)
+            fact = in_facts[index]
+            normal = self.transfer(node, fact)
+            exceptional = self.exceptional_out(node, fact)
+            for succ, kind in cfg.succs[index]:
+                out = exceptional if kind is EdgeKind.EXCEPT else normal
+                if succ not in in_facts:
+                    in_facts[succ] = out
+                    work.append(succ)
+                else:
+                    joined = self.join(in_facts[succ], out)
+                    if joined != in_facts[succ]:
+                        in_facts[succ] = joined
+                        work.append(succ)
+        return in_facts
+
+
+def assigned_names(node: Node) -> t.Set[str]:
+    """Names (re)bound when ``node`` executes."""
+    stmt = node.stmt
+    names: t.Set[str] = set()
+    if stmt is None:
+        return names
+
+    def targets_of(target: ast.expr) -> t.Iterator[str]:
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from targets_of(element)
+        elif isinstance(target, ast.Starred):
+            yield from targets_of(target.value)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            names.update(targets_of(target))
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        names.update(targets_of(stmt.target))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        names.update(targets_of(stmt.target))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names.update(targets_of(item.optional_vars))
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        names.add(stmt.name)
+    elif isinstance(stmt, ast.ExceptHandler) and stmt.name:
+        names.add(stmt.name)
+    # Walrus targets inside any evaluated expression.
+    for tree in node_asts(node):
+        for sub in ast.walk(tree):
+            if isinstance(sub, ast.NamedExpr):
+                names.update(targets_of(sub.target))
+    return names
+
+
+class ReachingDefinitions(ForwardAnalysis[t.FrozenSet[t.Tuple[str, int]]]):
+    """Classic reaching definitions: facts are ``{(name, def node)}``.
+
+    Function parameters reach as ``(name, entry)``, so a variable
+    that is only ever a parameter still has a definition site.
+    """
+
+    def initial(self, cfg: CFG) -> t.FrozenSet[t.Tuple[str, int]]:
+        params: t.Set[t.Tuple[str, int]] = set()
+        func = cfg.func
+        if func is not None and hasattr(func, "args"):
+            arguments = func.args
+            every = [*arguments.posonlyargs, *arguments.args,
+                     *arguments.kwonlyargs]
+            if arguments.vararg:
+                every.append(arguments.vararg)
+            if arguments.kwarg:
+                every.append(arguments.kwarg)
+            params = {(argument.arg, cfg.entry) for argument in every}
+        return frozenset(params)
+
+    def transfer(self, node: Node,
+                 fact: t.FrozenSet[t.Tuple[str, int]]
+                 ) -> t.FrozenSet[t.Tuple[str, int]]:
+        killed = assigned_names(node)
+        if not killed:
+            return fact
+        kept = {pair for pair in fact if pair[0] not in killed}
+        kept.update((name, node.index) for name in killed)
+        return frozenset(kept)
+
+    def join(self, left, right):
+        return left | right
+
+    def defs_of(self, fact: t.FrozenSet[t.Tuple[str, int]],
+                name: str) -> t.Set[int]:
+        """Node indices whose definition of ``name`` reaches here."""
+        return {index for defined, index in fact if defined == name}

@@ -1,0 +1,397 @@
+"""Resource acquire/release tracking and the repo's may-raise policy.
+
+Two resource styles are tracked, declared in :data:`RESOURCE_SPECS`:
+
+* **result-style** — the resource is the value of an acquiring call
+  (``conn = yield transport.connect_tcp(...)``); released by calling
+  a release method on the variable, or *escaped* (ownership handed
+  off) by returning it, storing it, or passing it to a synchronous
+  call.
+* **receiver-style** — the resource is a slot inside the receiver
+  object (``self.limiter.try_acquire()``, ``yield from
+  self.admission.admit(...)``); released by calling the release
+  method on the *same dotted receiver*, directly, inside a deferred
+  callback lambda, or via a same-class wrapper method (resolved
+  through the call graph).
+
+The may-raise policy decides which statements get exception edges.
+It is optimistic by design (see :mod:`.cfg`): only explicit raises,
+awaits, generator-driving yields outside a small never-failing set,
+calls on the known-raising list, and ``self`` methods whose own CFG
+provably reaches its error exit (the :class:`RaiseOracle`).
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from .callgraph import CallGraph, FunctionInfo
+from .cfg import CFG, Node, build_cfg, node_asts
+
+#: Yielded calls that never raise: sim primitives that only wait.
+NEVER_FAILING_YIELDS: t.FrozenSet[str] = frozenset({"submit", "timeout"})
+
+#: Synchronous calls (by attribute/function name) that may raise.
+MAY_RAISE_CALLS: t.FrozenSet[str] = frozenset(
+    {"send_message", "unwrap_forward", "put"})
+
+#: Resource lattice states; join is ``max`` (may-leak analysis).
+UNACQUIRED, RELEASED, ACQUIRED = 0, 1, 2
+
+
+class ResourceSpec:
+    """One resource kind: how it is acquired and released."""
+
+    __slots__ = ("kind", "style", "acquire_methods", "release_methods")
+
+    def __init__(self, kind: str, style: str,
+                 acquire_methods: t.Iterable[str],
+                 release_methods: t.Iterable[str]) -> None:
+        self.kind = kind
+        self.style = style  # "result" | "receiver"
+        self.acquire_methods = frozenset(acquire_methods)
+        self.release_methods = frozenset(release_methods)
+
+
+RESOURCE_SPECS: t.Tuple[ResourceSpec, ...] = (
+    ResourceSpec("connection", "result",
+                 acquire_methods=("connect_tcp", "open_stream"),
+                 release_methods=("close",)),
+    ResourceSpec("slot", "receiver",
+                 acquire_methods=("try_acquire", "acquire", "admit"),
+                 release_methods=("release",)),
+)
+
+
+def dotted(expr: ast.AST) -> t.Optional[str]:
+    """``self.admission`` -> ``"self.admission"``; None if not a chain."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = dotted(expr.value)
+        return None if base is None else f"{base}.{expr.attr}"
+    return None
+
+
+def call_name(call: ast.Call) -> t.Optional[str]:
+    """The method/function name a call invokes."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def self_method_name(func: ast.expr) -> t.Optional[str]:
+    """``self.m`` -> ``"m"``; None for anything else."""
+    if (isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"):
+        return func.attr
+    return None
+
+
+# -- the may-raise policy ----------------------------------------------------------
+
+
+class RaiseOracle:
+    """Answers "can driving/calling this function raise?" via its CFG.
+
+    A function may raise iff its error-exit node has predecessors
+    under this same policy — so the judgement is interprocedural
+    through ``self`` calls, memoized, and conservative (True) on
+    recursion cycles and unresolved callees.
+    """
+
+    def __init__(self, callgraph: CallGraph) -> None:
+        self.callgraph = callgraph
+        self._memo: t.Dict[str, bool] = {}
+        self._in_progress: t.Set[str] = set()
+
+    def function_may_raise(self, info: FunctionInfo) -> bool:
+        cached = self._memo.get(info.qualname)
+        if cached is not None:
+            return cached
+        if info.qualname in self._in_progress:
+            return True
+        self._in_progress.add(info.qualname)
+        try:
+            cfg = build_cfg(info.node, may_raise=may_raise_policy(self, info))
+            result = bool(cfg.preds[cfg.error_exit])
+        finally:
+            self._in_progress.discard(info.qualname)
+        self._memo[info.qualname] = result
+        return result
+
+    def call_may_raise(self, owner: t.Optional[FunctionInfo],
+                       method: str, driven: bool) -> bool:
+        """May ``self.method(...)`` raise at the call site?
+
+        ``driven`` distinguishes ``yield from self.m()`` (the callee
+        body runs) from a plain call (which, for a generator, only
+        creates the generator object and cannot raise).
+        """
+        callee = None
+        if owner is not None:
+            callee = self.callgraph.method(owner.module, owner.cls, method)
+        if callee is None:
+            return driven  # unknown: borrow-driving is risky, sync is not
+        if not driven and callee.is_generator:
+            return False
+        return self.function_may_raise(callee)
+
+
+def may_raise_policy(oracle: t.Optional[RaiseOracle],
+                     owner: t.Optional[FunctionInfo]
+                     ) -> t.Callable[[Node], bool]:
+    """The per-node may-raise predicate handed to :func:`build_cfg`."""
+
+    def expr_may_raise(expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Lambda):
+            return False  # body runs later, elsewhere
+        if isinstance(expr, ast.Await):
+            return True
+        if isinstance(expr, ast.Yield):
+            value = expr.value
+            if isinstance(value, ast.Call):
+                if call_name(value) in NEVER_FAILING_YIELDS:
+                    return any(expr_may_raise(arg) for arg in value.args)
+                return True
+            return False if value is None else expr_may_raise(value)
+        if isinstance(expr, ast.YieldFrom):
+            value = expr.value
+            if isinstance(value, ast.Call):
+                method = self_method_name(value.func)
+                if method is not None and oracle is not None:
+                    return oracle.call_may_raise(owner, method, driven=True)
+            return True
+        if isinstance(expr, ast.Call):
+            name = call_name(expr)
+            if name in MAY_RAISE_CALLS:
+                return True
+            method = self_method_name(expr.func)
+            if (method is not None and oracle is not None
+                    and oracle.call_may_raise(owner, method, driven=False)):
+                return True
+            children = [expr.func, *expr.args,
+                        *[kw.value for kw in expr.keywords]]
+            return any(expr_may_raise(child) for child in children)
+        return any(expr_may_raise(child)
+                   for child in ast.iter_child_nodes(expr))
+
+    def node_may_raise(node: Node) -> bool:
+        return any(expr_may_raise(tree) for tree in node_asts(node))
+
+    return node_may_raise
+
+
+# -- resource tracking -------------------------------------------------------------
+
+
+#: Acquire-site key: ("var", name, node index) or ("recv", dotted path).
+Key = t.Tuple[str, ...]
+
+
+def _walk_skipping_lambdas(tree: ast.AST) -> t.Iterator[ast.AST]:
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, ast.Lambda):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class ResourceTracker:
+    """Per-function resource-state dataflow (see module docstring).
+
+    Facts map acquire-site keys to lattice states; the join is
+    element-wise ``max``, so ACQUIRED ("may still be held") wins at
+    merges.  Along exception edges the *in*-fact propagates — an
+    acquiring statement that raises never acquired.
+    """
+
+    def __init__(self, cfg: CFG, owner: t.Optional[FunctionInfo],
+                 callgraph: t.Optional[CallGraph]) -> None:
+        self.cfg = cfg
+        self.owner = owner
+        self.callgraph = callgraph
+        #: key -> node index of the (first) acquire site.
+        self.sites: t.Dict[Key, int] = {}
+        #: key -> governing spec.
+        self.specs: t.Dict[Key, ResourceSpec] = {}
+        self._wrapper_memo: t.Dict[t.Tuple[str, str], bool] = {}
+        self._scan_acquires()
+
+    # -- acquire-site discovery ------------------------------------------------
+
+    def _scan_acquires(self) -> None:
+        for node in self.cfg.stmt_nodes():
+            if isinstance(node.stmt, (ast.With, ast.AsyncWith)):
+                continue  # context managers release themselves
+            for tree in node_asts(node):
+                for sub in _walk_skipping_lambdas(tree):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    if not isinstance(sub.func, ast.Attribute):
+                        continue
+                    name = sub.func.attr
+                    for spec in RESOURCE_SPECS:
+                        if name not in spec.acquire_methods:
+                            continue
+                        key = self._key_for(node, sub, spec)
+                        if key is not None and key not in self.sites:
+                            self.sites[key] = node.index
+                            self.specs[key] = spec
+
+    def _key_for(self, node: Node, call: ast.Call,
+                 spec: ResourceSpec) -> t.Optional[Key]:
+        if spec.style == "receiver":
+            receiver = dotted(call.func.value)  # type: ignore[union-attr]
+            return None if receiver is None else ("recv", receiver)
+        stmt = node.stmt
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)):
+            return ("var", stmt.targets[0].id, str(node.index))
+        return None
+
+    # -- transfer ingredients --------------------------------------------------
+
+    def _releases(self, node: Node, key: Key) -> bool:
+        spec = self.specs[key]
+        for tree in node_asts(node):
+            for sub in ast.walk(tree):
+                if not (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)):
+                    continue
+                if sub.func.attr in spec.release_methods:
+                    receiver = sub.func.value
+                    if spec.style == "receiver":
+                        if dotted(receiver) == key[1]:
+                            return True
+                    elif (isinstance(receiver, ast.Name)
+                          and receiver.id == key[1]):
+                        return True
+                if (spec.style == "receiver"
+                        and self_method_name(sub.func) is not None
+                        and self._wrapper_releases(
+                            sub.func.attr, key[1], spec)):
+                    return True
+        return False
+
+    def _wrapper_releases(self, method: str, receiver: str,
+                          spec: ResourceSpec) -> bool:
+        """Does a same-class helper release this receiver's slot?"""
+        if self.callgraph is None or self.owner is None:
+            return False
+        callee = self.callgraph.method(
+            self.owner.module, self.owner.cls, method)
+        if callee is None:
+            return False
+        memo_key = (callee.qualname, receiver)
+        cached = self._wrapper_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        result = any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in spec.release_methods
+            and dotted(sub.func.value) == receiver
+            for sub in ast.walk(callee.node))
+        self._wrapper_memo[memo_key] = result
+        return result
+
+    def _escapes(self, node: Node, name: str) -> bool:
+        """Does ownership of result-style ``name`` leave this function?
+
+        Benign occurrences — method receivers (``conn.close()``),
+        arguments of *driven* calls (``yield from self._auth_on(conn)``
+        borrows), None-comparisons, and store targets — do not count.
+        Anything else (return, store into an attribute, argument of a
+        synchronous call) transfers ownership.
+        """
+        benign: t.Set[int] = set()
+        occurrences: t.List[ast.Name] = []
+        for tree in node_asts(node):
+            for sub in ast.walk(tree):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    occurrences.append(sub)
+                    if isinstance(sub.ctx, ast.Store):
+                        benign.add(id(sub))
+                elif (isinstance(sub, ast.Attribute)
+                      and isinstance(sub.value, ast.Name)
+                      and sub.value.id == name):
+                    benign.add(id(sub.value))
+                elif (isinstance(sub, (ast.Yield, ast.YieldFrom))
+                      and isinstance(sub.value, ast.Call)):
+                    for arg in [*sub.value.args,
+                                *[kw.value for kw in sub.value.keywords]]:
+                        if isinstance(arg, ast.Name) and arg.id == name:
+                            benign.add(id(arg))
+                elif isinstance(sub, ast.Compare):
+                    operands = [sub.left, *sub.comparators]
+                    if any(isinstance(op, ast.Constant) and op.value is None
+                           for op in operands):
+                        for op in operands:
+                            if isinstance(op, ast.Name) and op.id == name:
+                                benign.add(id(op))
+        return any(id(occ) not in benign for occ in occurrences)
+
+    # -- the dataflow problem --------------------------------------------------
+
+    def initial(self) -> t.Dict[Key, int]:
+        return {key: UNACQUIRED for key in self.sites}
+
+    def transfer(self, node: Node,
+                 fact: t.Dict[Key, int]) -> t.Dict[Key, int]:
+        out = dict(fact)
+        for key in self.sites:
+            if self._releases(node, key):
+                out[key] = RELEASED
+            elif key[0] == "var" and out[key] == ACQUIRED \
+                    and self._escapes(node, key[1]):
+                out[key] = RELEASED
+        for key, site in self.sites.items():
+            if site == node.index:
+                out[key] = ACQUIRED
+        return out
+
+    def leaks(self) -> t.List[t.Tuple[Node, Key]]:
+        """Acquire sites that may still be held at the error exit."""
+        if not self.sites:
+            return []
+        from .dataflow import ForwardAnalysis
+
+        tracker = self
+
+        class _Analysis(ForwardAnalysis):
+            def initial(self, cfg):
+                return tracker.initial()
+
+            def transfer(self, node, fact):
+                return tracker.transfer(node, fact)
+
+            def join(self, left, right):
+                return {key: max(left[key], right[key]) for key in left}
+
+        facts = _Analysis().run(self.cfg)
+        at_error = facts.get(self.cfg.error_exit)
+        if at_error is None:
+            return []
+        return [(self.cfg.node(self.sites[key]), key)
+                for key, state in sorted(at_error.items())
+                if state == ACQUIRED]
+
+
+def find_leaks(func: t.Union[ast.FunctionDef, ast.AsyncFunctionDef],
+               owner: t.Optional[FunctionInfo],
+               callgraph: t.Optional[CallGraph],
+               oracle: t.Optional[RaiseOracle]
+               ) -> t.List[t.Tuple[Node, Key, ResourceSpec]]:
+    """Leaked acquire sites of one function under the repo policy."""
+    cfg = build_cfg(func, may_raise=may_raise_policy(oracle, owner))
+    tracker = ResourceTracker(cfg, owner, callgraph)
+    return [(node, key, tracker.specs[key])
+            for node, key in tracker.leaks()]

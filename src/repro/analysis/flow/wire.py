@@ -1,0 +1,35 @@
+"""The declared shapes of ScholarCloud wire-protocol tuples.
+
+Every control message on the browser<->domestic and
+domestic<->remote legs is a tuple whose first element is a string
+tag.  The ``wire-schema`` rule checks construction sites (tuple
+literals), guard sites (``len(x) == k and x[0] == "tag"``), and
+indexing under a tag guard against this one table, so a producer and
+a consumer cannot silently disagree about a message's arity.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+#: Tag -> allowed tuple arities (tag element included).
+#: Two-arity entries are messages that grew an optional trailing
+#: field (the deadline wire format) while staying backward
+#: compatible.
+WIRE_SCHEMAS: t.Dict[str, t.Tuple[int, ...]] = {
+    "sc-connect": (3, 4),
+    "sc-open": (3, 4),
+    "sc-overload": (2,),
+    "sc-refused": (2,),
+    "sc-ready": (1,),
+    "sc-error": (1,),
+    "sc": (3,),
+}
+
+
+def max_arity(tag: str) -> int:
+    return max(WIRE_SCHEMAS[tag])
+
+
+def arity_ok(tag: str, arity: int) -> bool:
+    return arity in WIRE_SCHEMAS.get(tag, ())

@@ -1,8 +1,9 @@
-"""The reprolint rule pack: the repo's invariants as AST rules."""
+"""The reprolint rule pack: the repo's invariants as AST rules,
+plus the project-wide dataflow rules layered on the flow package."""
 
 import typing as t
 
-from ..engine import Rule
+from ..engine import ProjectRule, Rule
 from .codec import CODEC_SCOPE, StrBytesMixingRule
 from .determinism import (
     SIM_SCOPE,
@@ -10,6 +11,12 @@ from .determinism import (
     OsEntropyRule,
     SeededRandomRule,
     WallClockRule,
+)
+from .flow_rules import (
+    DeadlineUnclampedRule,
+    LeakOnErrorPathRule,
+    RngStreamRegistryRule,
+    WireSchemaRule,
 )
 from .process import UninvokedProcessRule, YieldLiteralRule
 from .robustness import SilentExceptRule, UnboundedQueueRule
@@ -29,29 +36,50 @@ _ALL_RULES: t.Tuple[t.Type[Rule], ...] = (
     UnboundedQueueRule,
 )
 
+_ALL_PROJECT_RULES: t.Tuple[t.Type[ProjectRule], ...] = (
+    LeakOnErrorPathRule,
+    DeadlineUnclampedRule,
+    RngStreamRegistryRule,
+    WireSchemaRule,
+)
+
 RULES: t.Dict[str, t.Type[Rule]] = {rule.id: rule for rule in _ALL_RULES}
+
+PROJECT_RULES: t.Dict[str, t.Type[ProjectRule]] = {
+    rule.id: rule for rule in _ALL_PROJECT_RULES}
 
 
 def default_rules() -> t.Tuple[t.Type[Rule], ...]:
-    """The full rule pack, in reporting order."""
+    """The full per-module rule pack, in reporting order."""
     return _ALL_RULES
+
+
+def default_project_rules() -> t.Tuple[t.Type[ProjectRule], ...]:
+    """The full project-rule (dataflow) pack, in reporting order."""
+    return _ALL_PROJECT_RULES
 
 
 __all__ = [
     "CODEC_SCOPE",
+    "PROJECT_RULES",
     "REALNET_EXEMPT",
     "RULES",
     "SIM_SCOPE",
     "AmbientRandomRule",
     "BlockingCallRule",
+    "DeadlineUnclampedRule",
     "ForbiddenImportRule",
+    "LeakOnErrorPathRule",
     "OsEntropyRule",
+    "RngStreamRegistryRule",
     "SeededRandomRule",
     "SilentExceptRule",
     "StrBytesMixingRule",
     "UnboundedQueueRule",
     "UninvokedProcessRule",
     "WallClockRule",
+    "WireSchemaRule",
     "YieldLiteralRule",
+    "default_project_rules",
     "default_rules",
 ]

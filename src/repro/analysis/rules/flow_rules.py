@@ -1,0 +1,400 @@
+"""Dataflow rules: the invariants PRs 2-3 fixed by hand, mechanized.
+
+These are :class:`ProjectRule` passes — they build CFGs, run the
+worklist solver, and consult the project call graph, so they see the
+bug classes the AST pack cannot: a resource acquired on one line and
+leaked three branches later, a deadline accepted but never clamped,
+a stream name that silently diverges from its manifest entry, a wire
+tuple whose producer and consumer disagree about arity.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+import typing as t
+
+from ..engine import ModuleContext, Project, ProjectRule, in_scope
+from ..flow.callgraph import FunctionInfo
+from ..flow.cfg import build_cfg, node_asts
+from ..flow.dataflow import ReachingDefinitions
+from ..flow.manifest import (DYNAMIC_STREAM_PREFIXES, REGISTRY_OWNERS,
+                             STREAM_MANIFEST)
+from ..flow.resources import (RaiseOracle, ResourceTracker,
+                              may_raise_policy)
+from ..flow.wire import WIRE_SCHEMAS, arity_ok, max_arity
+
+
+class LeakOnErrorPathRule(ProjectRule):
+    """Acquired resources must be released on every exception path."""
+
+    id = "leak-on-error-path"
+    description = ("a connection/stream/slot acquired in this function "
+                   "may still be held when an exception propagates out")
+    default_scope = ("repro.core", "repro.middleware", "repro.http",
+                     "repro.faults", "repro.gfw", "repro.realnet")
+    # The overload package *implements* the slot primitives; acquiring
+    # from yourself in tests-of-self shape would be all noise.
+    default_exempt = ("repro.overload",)
+
+    def run(self, project: Project) -> t.List:
+        graph = project.callgraph
+        oracle = RaiseOracle(graph)
+        allowed = {id(ctx) for ctx in self.contexts(project)}
+        for info in graph.functions.values():
+            if id(info.ctx) not in allowed:
+                continue
+            cfg = build_cfg(info.node,
+                            may_raise=may_raise_policy(oracle, info))
+            tracker = ResourceTracker(cfg, info, graph)
+            for node, key in tracker.leaks():
+                spec = tracker.specs[key]
+                what = (f"{spec.kind} slot on `{key[1]}`"
+                        if key[0] == "recv" else
+                        f"{spec.kind} `{key[1]}`")
+                self.report(
+                    info.ctx, node.stmt,
+                    f"{what} acquired in {info.name}() may leak on an "
+                    f"exception path; release it (or hand it off) before "
+                    f"the error propagates")
+        return self.findings
+
+
+class DeadlineUnclampedRule(ProjectRule):
+    """Hop functions holding a Deadline must clamp forwarded timeouts.
+
+    Deadline propagation (PR 3) only sheds load if every hop passes
+    ``min(remaining budget, local timeout)`` downstream.  A raw
+    constant timeout next to an in-scope ``deadline`` parameter is a
+    hop that can outlive its caller's patience.
+    """
+
+    id = "deadline-unclamped"
+    description = ("a function receiving a Deadline passes a timeout "
+                   "downstream without deadline.clamp(...)")
+    default_exempt = ("repro.analysis",)
+
+    def run(self, project: Project) -> t.List:
+        graph = project.callgraph
+        oracle = RaiseOracle(graph)
+        allowed = {id(ctx) for ctx in self.contexts(project)}
+        for info in graph.functions.values():
+            if id(info.ctx) not in allowed:
+                continue
+            if not _takes_deadline(info.node):
+                continue
+            self._check_function(info, oracle)
+        return self.findings
+
+    def _check_function(self, info: FunctionInfo,
+                        oracle: RaiseOracle) -> None:
+        cfg = build_cfg(info.node, may_raise=may_raise_policy(oracle, info))
+        analysis = ReachingDefinitions()
+        facts = analysis.run(cfg)
+        for node in cfg.stmt_nodes():
+            fact = facts.get(node.index)
+            if fact is None:
+                continue  # unreachable
+            for tree in node_asts(node):
+                for sub in ast.walk(tree):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    for keyword in sub.keywords:
+                        if keyword.arg != "timeout":
+                            continue
+                        if self._clamped(keyword.value, fact,
+                                         analysis, cfg):
+                            continue
+                        self.report(
+                            info.ctx, node.stmt,
+                            f"{info.name}() holds a deadline but passes "
+                            f"timeout= downstream without clamping; use "
+                            f"deadline.clamp(timeout, now) so the hop "
+                            f"cannot outlive the request budget")
+
+    def _clamped(self, expr: ast.expr, fact, analysis: ReachingDefinitions,
+                 cfg) -> bool:
+        if isinstance(expr, ast.Constant) and expr.value is None:
+            return True  # explicitly "no timeout": nothing to clamp
+        if _mentions_clamp(expr):
+            return True
+        if isinstance(expr, ast.Name):
+            if expr.id.isupper():
+                return True  # module constant by convention
+            defining = analysis.defs_of(fact, expr.id)
+            if not defining:
+                return True  # global/builtin: out of this rule's reach
+            for index in defining:
+                node = cfg.node(index)
+                if node.stmt is not None and any(
+                        _mentions_clamp(tree) for tree in node_asts(node)):
+                    return True
+            return False
+        return False
+
+
+def _takes_deadline(func: t.Union[ast.FunctionDef,
+                                  ast.AsyncFunctionDef]) -> bool:
+    arguments = func.args
+    every = [*arguments.posonlyargs, *arguments.args, *arguments.kwonlyargs]
+    return any(argument.arg == "deadline" for argument in every)
+
+
+def _mentions_clamp(tree: ast.AST) -> bool:
+    return any(isinstance(sub, ast.Call)
+               and isinstance(sub.func, ast.Attribute)
+               and sub.func.attr == "clamp"
+               for sub in ast.walk(tree))
+
+
+class RngStreamRegistryRule(ProjectRule):
+    """RNG stream names must match the manifest and its ownership map."""
+
+    id = "rng-stream-registry"
+    description = ("an RNG stream literal is unregistered, drawn outside "
+                   "its owner module, or a registry is constructed "
+                   "outside Simulator-owned code")
+    default_exempt = ("repro.analysis",)
+
+    def run(self, project: Project) -> t.List:
+        for ctx in self.contexts(project):
+            for sub in ast.walk(ctx.tree):
+                if not isinstance(sub, ast.Call):
+                    continue
+                if (isinstance(sub.func, ast.Name)
+                        and sub.func.id == "RngRegistry"
+                        and not in_scope(ctx.module, REGISTRY_OWNERS)):
+                    self.report(
+                        ctx, sub,
+                        "RngRegistry constructed outside Simulator-owned "
+                        "modules; draw streams from sim.rng so one "
+                        "experiment seed governs every component")
+                if (isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "stream"
+                        and len(sub.args) == 1 and not sub.keywords
+                        and _rng_receiver(sub.func.value)):
+                    self._check_stream(ctx, sub)
+        return self.findings
+
+    def _check_stream(self, ctx: ModuleContext, call: ast.Call) -> None:
+        argument = call.args[0]
+        if isinstance(argument, ast.Constant) and isinstance(
+                argument.value, str):
+            self._check_literal(ctx, call, argument.value)
+        elif isinstance(argument, ast.JoinedStr):
+            prefix = ""
+            if argument.values and isinstance(argument.values[0],
+                                              ast.Constant):
+                prefix = str(argument.values[0].value)
+            self._check_dynamic(ctx, call, prefix)
+        # Non-literal stream names are forwarding helpers; the literal
+        # at their call sites is what gets checked.
+
+    def _check_literal(self, ctx: ModuleContext, call: ast.Call,
+                       name: str) -> None:
+        owners = STREAM_MANIFEST.get(name)
+        if owners is None:
+            for prefix, prefix_owners in DYNAMIC_STREAM_PREFIXES.items():
+                if name.startswith(prefix):
+                    owners = prefix_owners
+                    break
+        if owners is None:
+            close = difflib.get_close_matches(
+                name, STREAM_MANIFEST, n=1, cutoff=0.6)
+            hint = f' (did you mean "{close[0]}"?)' if close else ""
+            self.report(
+                ctx, call,
+                f'RNG stream "{name}" is not in the registry '
+                f"manifest{hint}; register it in "
+                f"repro.analysis.flow.manifest")
+            return
+        if not in_scope(ctx.module, owners):
+            self.report(
+                ctx, call,
+                f'RNG stream "{name}" drawn outside its owner modules '
+                f"({', '.join(owners)}); sharing a stream couples "
+                f"components' draws")
+
+    def _check_dynamic(self, ctx: ModuleContext, call: ast.Call,
+                       prefix: str) -> None:
+        for registered, owners in DYNAMIC_STREAM_PREFIXES.items():
+            if prefix.startswith(registered):
+                if not in_scope(ctx.module, owners):
+                    self.report(
+                        ctx, call,
+                        f'dynamic RNG stream prefix "{registered}" drawn '
+                        f"outside its owner modules "
+                        f"({', '.join(owners)})")
+                return
+        self.report(
+            ctx, call,
+            f'dynamic RNG stream name "{prefix}..." has no registered '
+            f"prefix; add one to DYNAMIC_STREAM_PREFIXES in "
+            f"repro.analysis.flow.manifest")
+
+
+def _rng_receiver(expr: ast.expr) -> bool:
+    """Does this receiver look like an RNG registry?"""
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Name) and "rng" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "rng" in sub.attr.lower():
+            return True
+        if isinstance(sub, ast.Call):
+            target = sub.func
+            if isinstance(target, ast.Name) and target.id == "RngRegistry":
+                return True
+            if isinstance(target, ast.Attribute) and target.attr == "fork":
+                return True
+    return False
+
+
+class WireSchemaRule(ProjectRule):
+    """ScholarCloud wire tuples must match the declared schemas."""
+
+    id = "wire-schema"
+    description = ("a wire-protocol tuple's construction, guard, or "
+                   "indexing disagrees with the declared schema")
+    default_exempt = ("repro.analysis",)
+
+    def run(self, project: Project) -> t.List:
+        for ctx in self.contexts(project):
+            scopes: t.List[ast.AST] = [ctx.tree]
+            scopes.extend(
+                sub for sub in ast.walk(ctx.tree)
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)))
+            for scope in scopes:
+                self._check_scope(ctx, scope)
+        return self.findings
+
+    def _check_scope(self, ctx: ModuleContext, scope: ast.AST) -> None:
+        nodes = list(self._walk_scope(scope))
+        guards: t.Dict[str, str] = {}  # receiver ast.dump -> tag
+        for sub in nodes:
+            if isinstance(sub, ast.Tuple):
+                self._check_literal(ctx, sub)
+            elif isinstance(sub, ast.BoolOp) and isinstance(sub.op, ast.And):
+                self._check_guard(ctx, sub)
+            pair = _tag_guard(sub)
+            if pair is not None:
+                guards[pair[0]] = pair[1]
+        for sub in nodes:
+            if not isinstance(sub, ast.Subscript):
+                continue
+            receiver = ast.dump(sub.value)
+            tag = guards.get(receiver)
+            if tag is None:
+                continue
+            index = sub.slice
+            if (isinstance(index, ast.Constant)
+                    and isinstance(index.value, int)
+                    and index.value >= max_arity(tag)):
+                self.report(
+                    ctx, sub,
+                    f'indexing element {index.value} of an "{tag}" tuple, '
+                    f"but its schema allows at most "
+                    f"{max_arity(tag)} elements")
+
+    @staticmethod
+    def _walk_scope(scope: ast.AST) -> t.Iterator[ast.AST]:
+        """Walk one function (or the module top level) without
+        descending into nested function scopes."""
+        roots = (scope.body if isinstance(
+            scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module))
+            else [scope])
+        stack: t.List[ast.AST] = list(roots)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_literal(self, ctx: ModuleContext, node: ast.Tuple) -> None:
+        if not node.elts:
+            return
+        head = node.elts[0]
+        if not (isinstance(head, ast.Constant)
+                and isinstance(head.value, str)):
+            return
+        tag = head.value
+        if tag not in WIRE_SCHEMAS:
+            return
+        if not arity_ok(tag, len(node.elts)):
+            self.report(
+                ctx, node,
+                f'"{tag}" tuple built with {len(node.elts)} elements; '
+                f"the schema allows "
+                f"{' or '.join(map(str, WIRE_SCHEMAS[tag]))}")
+
+    def _check_guard(self, ctx: ModuleContext, guard: ast.BoolOp) -> None:
+        tags: t.Dict[str, t.Tuple[str, ast.AST]] = {}
+        lengths: t.Dict[str, t.Tuple[t.Tuple[int, ...], ast.AST]] = {}
+        for value in guard.values:
+            pair = _tag_guard(value)
+            if pair is not None:
+                tags[pair[0]] = (pair[1], value)
+                continue
+            measured = _length_guard(value)
+            if measured is not None:
+                lengths[measured[0]] = (measured[1], value)
+        for receiver, (tag, _node) in tags.items():
+            if receiver not in lengths:
+                continue
+            arities, node = lengths[receiver]
+            bad = [arity for arity in arities
+                   if not arity_ok(tag, arity)]
+            if bad:
+                self.report(
+                    ctx, node,
+                    f'guard tests len() in {sorted(arities)} for an '
+                    f'"{tag}" tuple; the schema allows '
+                    f"{' or '.join(map(str, WIRE_SCHEMAS[tag]))}")
+
+
+def _tag_guard(node: ast.AST) -> t.Optional[t.Tuple[str, str]]:
+    """``x[0] == "tag"`` -> (dump of x, tag)."""
+    if not (isinstance(node, ast.Compare) and len(node.ops) == 1
+            and isinstance(node.ops[0], ast.Eq)):
+        return None
+    left, right = node.left, node.comparators[0]
+    if (isinstance(right, ast.Subscript)
+            and not isinstance(left, ast.Subscript)):
+        left, right = right, left
+    if not (isinstance(left, ast.Subscript)
+            and isinstance(left.slice, ast.Constant)
+            and left.slice.value == 0
+            and isinstance(right, ast.Constant)
+            and isinstance(right.value, str)
+            and right.value in WIRE_SCHEMAS):
+        return None
+    return ast.dump(left.value), right.value
+
+
+def _length_guard(node: ast.AST
+                  ) -> t.Optional[t.Tuple[str, t.Tuple[int, ...]]]:
+    """``len(x) == k`` / ``len(x) in (a, b)`` -> (dump of x, arities)."""
+    if not (isinstance(node, ast.Compare) and len(node.ops) == 1):
+        return None
+    call = node.left
+    if not (isinstance(call, ast.Call) and isinstance(call.func, ast.Name)
+            and call.func.id == "len" and len(call.args) == 1):
+        return None
+    receiver = ast.dump(call.args[0])
+    comparator = node.comparators[0]
+    if isinstance(node.ops[0], ast.Eq):
+        if (isinstance(comparator, ast.Constant)
+                and isinstance(comparator.value, int)):
+            return receiver, (comparator.value,)
+        return None
+    if isinstance(node.ops[0], ast.In):
+        if isinstance(comparator, (ast.Tuple, ast.List, ast.Set)):
+            values = []
+            for element in comparator.elts:
+                if (isinstance(element, ast.Constant)
+                        and isinstance(element.value, int)):
+                    values.append(element.value)
+                else:
+                    return None
+            return receiver, tuple(values)
+    return None

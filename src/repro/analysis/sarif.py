@@ -1,0 +1,81 @@
+"""SARIF 2.1.0 serialization of reprolint findings.
+
+Just enough of the Static Analysis Results Interchange Format for
+GitHub code scanning to render inline PR annotations: one run, one
+driver, rule metadata from the registered packs, one result per
+finding with a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as t
+
+from .engine import Finding, Severity, STALE_SUPPRESSION_ID
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptors() -> t.List[t.Dict[str, t.Any]]:
+    from .rules import default_project_rules, default_rules
+
+    descriptors = []
+    for rule in [*default_rules(), *default_project_rules()]:
+        descriptors.append({
+            "id": rule.id,
+            "shortDescription": {
+                "text": rule.description or rule.id},
+        })
+    descriptors.append({
+        "id": STALE_SUPPRESSION_ID,
+        "shortDescription": {
+            "text": "a reprolint suppression comment no longer "
+                    "suppresses any finding"},
+    })
+    return descriptors
+
+
+def to_sarif(findings: t.Sequence[Finding]) -> t.Dict[str, t.Any]:
+    """Findings as a SARIF log dict (one run)."""
+    results = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.rule,
+            "level": _LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": max(finding.col, 1),
+                    },
+                },
+            }],
+        })
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "informationUri":
+                        "https://github.com/repro/repro#static-analysis",
+                    "rules": _rule_descriptors(),
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(findings: t.Sequence[Finding]) -> str:
+    return json.dumps(to_sarif(findings), indent=2)

@@ -81,13 +81,17 @@ class ActiveProber:
         except TransportError:
             self._record(address, port, PERSONALITY_UNREACHABLE, on_confirm)
             return
-        # 48 bytes of garbage that decrypts to nothing.
-        conn.send_message(48, meta=("probe-garbage",), features=OPAQUE_STREAM)
         try:
+            # 48 bytes of garbage that decrypts to nothing.
+            conn.send_message(48, meta=("probe-garbage",),
+                              features=OPAQUE_STREAM)
             outcome = yield self.sim.any_of(
                 [conn.recv_message(), self.sim.timeout(self.reply_timeout,
                                                        value="timeout")])
         except TransportError:
+            # A reset during the garbage send classifies the same as a
+            # reset while waiting; either way the probe socket is done.
+            conn.close()
             self._record(address, port, PERSONALITY_RST, on_confirm)
             return
         values = list(outcome.values())

@@ -158,7 +158,15 @@ class SsServer:
             return
         self.relays_opened += 1
         self._touch(client)
-        conn.send_message(20, meta=("ss-ready",), features=data_features())
+        try:
+            conn.send_message(20, meta=("ss-ready",),
+                              features=data_features())
+        except TransportError:
+            # The client vanished between dial and ready-ack; the
+            # freshly-dialed target must not outlive the relay.
+            target.close()
+            conn.close()
+            return
         self.sim.process(self._pump_upstream(conn, target, client),
                          name="ss-up")
         self.sim.process(self._pump_downstream(conn, target, client),

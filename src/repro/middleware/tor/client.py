@@ -202,10 +202,18 @@ class TorMethod(AccessMethod):
             #    fresh circuit — the bulk of Tor's first-time cost.
             directory = yield from self.open_stream(
                 "directory.torproject.internal", 80, internal=True)
-            directory.send_message(300, meta=("dir-request",))
-            reply = yield directory.recv_message()
-            if not (isinstance(reply, tuple) and reply[0] == "dir-response"):
-                raise MiddlewareError(f"directory fetch failed: {reply!r}")
+            try:
+                directory.send_message(300, meta=("dir-request",))
+                reply = yield directory.recv_message()
+                if not (isinstance(reply, tuple)
+                        and reply[0] == "dir-response"):
+                    raise MiddlewareError(
+                        f"directory fetch failed: {reply!r}")
+            except BaseException:
+                # The stream table must not keep a dead directory
+                # stream; the outer handler only cleans up the channel.
+                directory.close()
+                raise
             directory.close()
         except BaseException:
             # A failed bootstrap must not strand the meek connection.

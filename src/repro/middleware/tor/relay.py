@@ -109,11 +109,18 @@ class TorRelay:
         except TransportError:
             self._reply(circuit, cells.END, {"reason": "extend-failed"})
             return
-        downstream.send_message(
-            CELL_SIZE, meta=cells.make_cell(circuit.circuit_id, cells.CREATE),
-            features=relay_link_features())
-        created = yield downstream.recv_message()
+        try:
+            downstream.send_message(
+                CELL_SIZE,
+                meta=cells.make_cell(circuit.circuit_id, cells.CREATE),
+                features=relay_link_features())
+            created = yield downstream.recv_message()
+        except TransportError:
+            downstream.close()
+            self._reply(circuit, cells.END, {"reason": "extend-failed"})
+            return
         if not (cells.is_cell(created) and created[2] == cells.CREATED):
+            downstream.close()
             self._reply(circuit, cells.END, {"reason": "create-failed"})
             return
         circuit.downstream = downstream

@@ -240,6 +240,32 @@ def compare_to_baseline(report: t.Dict[str, t.Any],
     return failures
 
 
+def parallel_gate_failures(report: t.Dict[str, t.Any],
+                           min_speedup: float) -> t.List[str]:
+    """The direct multi-core gate: the parallel sweep must actually
+    beat the serial one when more than one CPU is available.
+
+    Unlike the baseline comparison this needs no prior report — it is
+    an absolute requirement, armed only on multi-core machines (a
+    single-core runner cannot exhibit parallel speedup, and the
+    process-pool overhead would make any threshold a coin flip).
+    """
+    if min_speedup <= 0:
+        return []
+    cpus = report.get("cpu_count") or 1
+    workers = report.get("workers") or cpus
+    if cpus <= 1 or workers <= 1:
+        return []
+    speedup = report.get("e2e", {}).get("fig7-sweep", {}).get(
+        "parallel_speedup")
+    if not isinstance(speedup, (int, float)):
+        return [f"fig7 parallel speedup missing on a {cpus}-CPU machine"]
+    if speedup < min_speedup:
+        return [f"fig7 parallel speedup {speedup:.2f}x is below the "
+                f"required {min_speedup:.2f}x on {cpus} CPUs"]
+    return []
+
+
 # -- CLI ------------------------------------------------------------------------
 
 
@@ -284,8 +310,11 @@ def main(argv: t.Optional[t.Sequence[str]] = None) -> int:
                         help="allowed fractional speedup regression (0.25 = 25%%)")
     parser.add_argument("--workers", type=int, default=None,
                         help="parallel sweep worker count (default: CPUs)")
+    parser.add_argument("--min-parallel-speedup", type=float, default=1.2,
+                        help="required fig7 parallel speedup over serial on "
+                             "multi-core machines (0 disables the gate)")
     parser.add_argument("--no-gate", action="store_true",
-                        help="measure and write the report, skip the gate")
+                        help="measure and write the report, skip the gates")
     options = parser.parse_args(argv)
 
     baseline_path = options.baseline or options.output
@@ -312,6 +341,11 @@ def main(argv: t.Optional[t.Sequence[str]] = None) -> int:
         return 1
     if options.no_gate:
         return 0
+    failures = parallel_gate_failures(report, options.min_parallel_speedup)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
     if baseline is None:
         print(f"no baseline at {baseline_path}; gate skipped "
               "(commit the report as the baseline)")

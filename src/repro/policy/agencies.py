@@ -85,7 +85,7 @@ class SecurityMinistry:
                  investigation_days: float = 45.0) -> None:
         self.sim = sim
         self.registry = registry
-        self.rng = (rng or RngRegistry(7)).stream("mps")
+        self.rng = (rng if rng is not None else sim.rng).stream("mps")
         self.investigation_days = investigation_days
         self.services: t.List[ServiceListing] = []
         self.investigations: t.List[Investigation] = []

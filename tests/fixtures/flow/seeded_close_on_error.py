@@ -1,0 +1,29 @@
+"""Seeded bug fixture: the close-on-error bug PR 2 fixed, reverted.
+
+``open_stream`` dials a fresh connection, then drives the auth
+exchange and sends the connect frame with no ``try``/``close`` around
+them — if auth fails (or the transport resets), the dialed connection
+is stranded.  ``leak-on-error-path`` must flag it.
+
+This file is analysis input only; nothing imports or executes it.
+"""
+
+from repro.errors import TransportError
+
+
+class SeededSsClient:
+    def __init__(self, sim, transport):
+        self.sim = sim
+        self.transport = transport
+
+    def open_stream(self, host, port):
+        conn = yield self.transport.connect_tcp(host, port, timeout=30.0)
+        yield from self._auth_on(conn)
+        conn.send_message(12, meta=("ss-connect", host, port))
+        return conn
+
+    def _auth_on(self, conn):
+        conn.send_message(36, meta=("ss-auth", "tunnel-password"))
+        reply = yield conn.recv_message()
+        if reply is None:
+            raise TransportError("auth channel closed before reply")

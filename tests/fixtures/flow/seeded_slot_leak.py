@@ -1,0 +1,34 @@
+"""Seeded bug fixture: the admission-slot leak PR 3 fixed, reverted.
+
+The domestic proxy acquires an admission slot, then dials upstream and
+acks the client — but only releases the slot at the end of the happy
+path.  Any exception between ``try_acquire`` and ``release`` bleeds
+one slot of capacity forever.  ``leak-on-error-path`` must flag it.
+
+This file is analysis input only; nothing imports or executes it.
+"""
+
+
+class SeededDomesticProxy:
+    def __init__(self, sim, transport, admission):
+        self.sim = sim
+        self.transport = transport
+        self.admission = admission
+
+    def _serve(self, conn):
+        if not self.admission.try_acquire():
+            conn.close()
+            return
+        remote = yield self.transport.connect_tcp(
+            "upstream.scholarcloud.internal", 443, timeout=10.0)
+        conn.send_message(64, meta=("sc-connect", "scholar.google.com", 443))
+        self.sim.process(self._pump(conn, remote), name="seeded-pump")
+        self.admission.release()
+
+    def _pump(self, conn, remote):
+        while True:
+            message = yield conn.recv_message()
+            if message is None:
+                remote.close()
+                return
+            remote.send_message(64, meta=message)

@@ -341,3 +341,26 @@ def test_bench_gate_flags_speedup_regressions():
                     "gone": {"speedup": 9.0}},
           "e2e": {"fig7-sweep": {"speedup": 2.5}}}
     assert compare_to_baseline(ok, baseline, tolerance=0.25) == []
+
+
+def test_bench_parallel_gate_arms_only_on_multicore():
+    from repro.perf.bench import parallel_gate_failures
+
+    slow = {"cpu_count": 4, "workers": 4,
+            "e2e": {"fig7-sweep": {"parallel_speedup": 0.9}}}
+    assert parallel_gate_failures(slow, min_speedup=1.2)
+    fast = {"cpu_count": 4, "workers": 4,
+            "e2e": {"fig7-sweep": {"parallel_speedup": 2.6}}}
+    assert parallel_gate_failures(fast, min_speedup=1.2) == []
+    # A single-core machine (or a single-worker run) cannot exhibit
+    # parallel speedup; the gate must not fire there.
+    single = {"cpu_count": 1, "workers": 1,
+              "e2e": {"fig7-sweep": {"parallel_speedup": 0.7}}}
+    assert parallel_gate_failures(single, min_speedup=1.2) == []
+    one_worker = {"cpu_count": 8, "workers": 1,
+                  "e2e": {"fig7-sweep": {"parallel_speedup": 0.9}}}
+    assert parallel_gate_failures(one_worker, min_speedup=1.2) == []
+    # Missing measurement on a multi-core machine is itself a failure.
+    missing = {"cpu_count": 4, "workers": 4, "e2e": {"fig7-sweep": {}}}
+    assert parallel_gate_failures(missing, min_speedup=1.2)
+    assert parallel_gate_failures(slow, min_speedup=0) == []

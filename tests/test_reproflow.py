@@ -1,0 +1,378 @@
+"""Tests for the dataflow layer: CFG construction, the worklist
+solver, the resource lattice, the call graph, and the end-to-end
+guarantee that the seeded historical bugs stay detectable."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Analyzer, Config, to_sarif
+from repro.analysis.flow import (
+    ACQUIRED,
+    CFG,
+    CallGraph,
+    EdgeKind,
+    RaiseOracle,
+    ReachingDefinitions,
+    RELEASED,
+    UNACQUIRED,
+    build_cfg,
+    find_leaks,
+    may_raise_policy,
+)
+from repro.analysis.flow.cfg import ENTRY, ERROR_EXIT, EXIT
+from repro.analysis.engine import ModuleContext
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "flow"
+
+
+def func_cfg(source, may_raise=None, name=None):
+    tree = ast.parse(textwrap.dedent(source))
+    funcs = [node for node in ast.walk(tree)
+             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    func = funcs[0] if name is None else next(
+        f for f in funcs if f.name == name)
+    if may_raise is None:
+        return build_cfg(func)
+    return build_cfg(func, may_raise=may_raise)
+
+
+def succ_kinds(cfg, index):
+    return {kind for _dst, kind in cfg.succs[index]}
+
+
+def node_of(cfg, predicate):
+    return next(n for n in cfg.stmt_nodes() if predicate(n.stmt))
+
+
+# -- CFG shapes ----------------------------------------------------------------------
+
+
+def test_if_else_diamond():
+    cfg = func_cfg("""
+        def f(flag):
+            if flag:
+                x = 1
+            else:
+                x = 2
+            return x
+    """)
+    header = node_of(cfg, lambda s: isinstance(s, ast.If))
+    assert succ_kinds(cfg, header.index) == {EdgeKind.TRUE, EdgeKind.FALSE}
+    ret = node_of(cfg, lambda s: isinstance(s, ast.Return))
+    # Both assignment arms merge into the return.
+    assert len(cfg.preds[ret.index]) == 2
+    assert cfg.preds[cfg.exit]
+
+
+def test_while_loop_has_back_and_false_edges():
+    cfg = func_cfg("""
+        def f(n):
+            while n:
+                n = n - 1
+            return n
+    """)
+    header = node_of(cfg, lambda s: isinstance(s, ast.While))
+    assert EdgeKind.FALSE in succ_kinds(cfg, header.index)
+    assert any(kind is EdgeKind.LOOP
+               for _src, kind in cfg.preds[header.index])
+
+
+def test_while_true_omits_false_edge():
+    cfg = func_cfg("""
+        def f():
+            while True:
+                pass
+    """)
+    header = node_of(cfg, lambda s: isinstance(s, ast.While))
+    assert EdgeKind.FALSE not in succ_kinds(cfg, header.index)
+    # Nothing after an infinite loop: the normal exit is unreachable.
+    assert cfg.preds[cfg.exit] == []
+
+
+def test_break_exits_loop():
+    cfg = func_cfg("""
+        def f():
+            while True:
+                break
+            return 1
+    """)
+    assert cfg.preds[cfg.exit]
+
+
+def test_matching_except_catches_raise():
+    cfg = func_cfg("""
+        def f():
+            try:
+                raise TransportError("boom")
+            except TransportError:
+                return None
+    """)
+    assert cfg.preds[cfg.error_exit] == []
+
+
+def test_parent_clause_catches_subtype_raise():
+    cfg = func_cfg("""
+        def f():
+            try:
+                raise OverloadError("full")
+            except TransportError:
+                return None
+    """)
+    assert cfg.preds[cfg.error_exit] == []
+
+
+def test_unrelated_clause_misses_raise():
+    cfg = func_cfg("""
+        def f():
+            try:
+                raise TransportError("boom")
+            except OverloadError:
+                return None
+    """)
+    # OverloadError is strictly narrower: the raise escapes.
+    assert cfg.preds[cfg.error_exit]
+
+
+def test_finally_body_runs_before_error_exit():
+    cfg = func_cfg("""
+        def f(conn):
+            try:
+                raise ValueError("boom")
+            finally:
+                conn.close()
+    """)
+    close = node_of(cfg, lambda s: isinstance(s, ast.Expr))
+    # The pending exception resumes *after* the finally body, and the
+    # resume edge is NORMAL — the close did execute.
+    assert (close.index, EdgeKind.NORMAL) in [
+        (src, kind) for src, kind in cfg.preds[cfg.error_exit]]
+
+
+def test_return_through_finally():
+    cfg = func_cfg("""
+        def f(conn):
+            try:
+                return 1
+            finally:
+                conn.close()
+    """)
+    close = node_of(cfg, lambda s: isinstance(s, ast.Expr))
+    assert (close.index, EdgeKind.NORMAL) in cfg.preds[cfg.exit]
+
+
+# -- dataflow solver -----------------------------------------------------------------
+
+
+def test_reaching_definitions_merge_at_join():
+    cfg = func_cfg("""
+        def f(flag):
+            if flag:
+                x = 1
+            else:
+                x = 2
+            return x
+    """)
+    analysis = ReachingDefinitions()
+    facts = analysis.run(cfg)
+    ret = node_of(cfg, lambda s: isinstance(s, ast.Return))
+    assert len(analysis.defs_of(facts[ret.index], "x")) == 2
+
+
+def test_parameters_reach_as_entry_definitions():
+    cfg = func_cfg("""
+        def f(a):
+            return a
+    """)
+    analysis = ReachingDefinitions()
+    facts = analysis.run(cfg)
+    ret = node_of(cfg, lambda s: isinstance(s, ast.Return))
+    assert analysis.defs_of(facts[ret.index], "a") == {cfg.entry}
+
+
+def test_redefinition_kills_prior_definition():
+    cfg = func_cfg("""
+        def f(a):
+            a = 1
+            return a
+    """)
+    analysis = ReachingDefinitions()
+    facts = analysis.run(cfg)
+    ret = node_of(cfg, lambda s: isinstance(s, ast.Return))
+    assert cfg.entry not in analysis.defs_of(facts[ret.index], "a")
+
+
+def test_resource_lattice_order():
+    assert UNACQUIRED < RELEASED < ACQUIRED
+    # The may-leak join: "still held" must win at merges.
+    assert max(RELEASED, ACQUIRED) == ACQUIRED
+
+
+# -- resource tracking ---------------------------------------------------------------
+
+
+def leaks_of(source, name=None):
+    tree = ast.parse(textwrap.dedent(source))
+    funcs = [node for node in ast.walk(tree)
+             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    func = funcs[0] if name is None else next(
+        f for f in funcs if f.name == name)
+    return find_leaks(func, None, None, None)
+
+
+def test_unprotected_send_after_dial_leaks():
+    leaks = leaks_of("""
+        def dial(transport):
+            conn = yield transport.connect_tcp("host", 1, timeout=5.0)
+            conn.send_message(8, meta=("x",))
+            return conn
+    """)
+    assert [key[1] for _node, key, _spec in leaks] == ["conn"]
+
+
+def test_close_on_error_path_is_clean():
+    leaks = leaks_of("""
+        def dial(transport):
+            conn = yield transport.connect_tcp("host", 1, timeout=5.0)
+            try:
+                conn.send_message(8, meta=("x",))
+            except BaseException:
+                conn.close()
+                raise
+            return conn
+    """)
+    assert leaks == []
+
+
+def test_release_in_finally_reaches_error_exit():
+    # Regression: the finally-resume edge must carry the *post*-release
+    # fact, or this correct pattern reads as a leak.
+    leaks = leaks_of("""
+        def fetch(origin, conn):
+            yield origin.slots.acquire()
+            try:
+                conn.send_message(8, meta=("x",))
+            finally:
+                origin.slots.release()
+    """)
+    assert leaks == []
+
+
+def test_receiver_slot_leak_detected():
+    leaks = leaks_of("""
+        def serve(self, conn):
+            yield self.admission.acquire()
+            conn.send_message(8, meta=("x",))
+            self.admission.release()
+    """)
+    assert [key for _node, key, _spec in leaks] == [("recv", "self.admission")]
+
+
+def test_with_block_resources_are_not_tracked():
+    leaks = leaks_of("""
+        def dial(transport, conn):
+            with transport.connect_tcp("host", 1) as managed:
+                conn.send_message(8, meta=("x",))
+    """)
+    assert leaks == []
+
+
+# -- call graph + raise oracle -------------------------------------------------------
+
+
+def project_of(sources):
+    return [ModuleContext(path=f"src/{module.replace('.', '/')}.py",
+                          module=module, source=textwrap.dedent(source))
+            for module, source in sources.items()]
+
+
+def test_callgraph_resolves_self_and_inherited_methods():
+    contexts = project_of({
+        "repro.core.base": """
+            class Base:
+                def helper(self):
+                    return 1
+        """,
+        "repro.core.child": """
+            class Child(Base):
+                def run(self):
+                    return self.helper()
+        """,
+    })
+    graph = CallGraph.build(contexts)
+    run = graph.method("repro.core.child", "Child", "run")
+    assert run is not None
+    callees = [c.qualname for c in graph.callees(run)]
+    assert callees == ["repro.core.base.Base.helper"]
+    assert "repro.core.base.Base.helper" in graph.transitive_callees(run)
+
+
+def test_raise_oracle_distinguishes_raising_methods():
+    contexts = project_of({
+        "repro.core.svc": """
+            class Svc:
+                def quiet(self):
+                    return 1
+
+                def loud(self):
+                    raise ValueError("boom")
+        """,
+    })
+    graph = CallGraph.build(contexts)
+    oracle = RaiseOracle(graph)
+    assert not oracle.function_may_raise(
+        graph.method("repro.core.svc", "Svc", "quiet"))
+    assert oracle.function_may_raise(
+        graph.method("repro.core.svc", "Svc", "loud"))
+
+
+def test_may_raise_policy_safelists_sim_waits():
+    cfg = func_cfg("""
+        def f(self, sim, cpu):
+            yield sim.timeout(1.0)
+            yield cpu.submit(0.1)
+    """, may_raise=may_raise_policy(None, None))
+    assert cfg.preds[cfg.error_exit] == []
+
+
+# -- seeded-bug fixtures -------------------------------------------------------------
+
+
+def analyze_fixture(filename, module):
+    source = (FIXTURES / filename).read_text()
+    analyzer = Analyzer(config=Config())
+    return analyzer.analyze_source(
+        source, path=f"tests/fixtures/flow/{filename}", module=module)
+
+
+def test_seeded_slot_leak_fixture_is_flagged():
+    findings = analyze_fixture("seeded_slot_leak.py",
+                               "repro.core.seeded_slot_leak")
+    leaks = [f for f in findings if f.rule == "leak-on-error-path"]
+    assert any("self.admission" in f.message for f in leaks)
+    assert all(f.line > 0 for f in leaks)
+
+
+def test_seeded_close_on_error_fixture_is_flagged():
+    findings = analyze_fixture("seeded_close_on_error.py",
+                               "repro.middleware.seeded_close_on_error")
+    leaks = [f for f in findings if f.rule == "leak-on-error-path"]
+    assert any("`conn`" in f.message for f in leaks)
+
+
+# -- SARIF ---------------------------------------------------------------------------
+
+
+def test_sarif_document_structure():
+    findings = analyze_fixture("seeded_slot_leak.py",
+                               "repro.core.seeded_slot_leak")
+    document = to_sarif(findings)
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert "leak-on-error-path" in rule_ids
+    assert run["results"], "findings must become SARIF results"
+    result = run["results"][0]
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("seeded_slot_leak.py")
+    assert location["region"]["startLine"] > 0

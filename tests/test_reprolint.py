@@ -104,5 +104,30 @@ def test_cli_list_rules():
     result = _run_cli("--list-rules")
     assert result.returncode == 0
     for rule_id in ("det-seeded-random", "sim-forbidden-import",
-                    "codec-str-bytes", "process-uninvoked"):
+                    "codec-str-bytes", "process-uninvoked",
+                    "leak-on-error-path", "deadline-unclamped",
+                    "rng-stream-registry", "wire-schema",
+                    "stale-suppression"):
         assert rule_id in result.stdout
+
+
+def test_cli_sarif_output(tmp_path):
+    import json
+
+    bad = tmp_path / "repro" / "net" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import random\nrng = random.Random(0)\n")
+    out = tmp_path / "reprolint.sarif"
+    result = _run_cli(str(bad), "--sarif", str(out))
+    assert result.returncode == 1
+    document = json.loads(out.read_text())
+    assert document["version"] == "2.1.0"
+    results = document["runs"][0]["results"]
+    assert any(r["ruleId"] == "det-seeded-random" for r in results)
+
+
+def test_cli_sarif_clean_tree_exits_zero(tmp_path):
+    out = tmp_path / "reprolint.sarif"
+    result = _run_cli("src/repro", "--sarif", str(out))
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert out.exists()

@@ -297,7 +297,10 @@ def test_suppression_of_other_rule_does_not_leak():
     findings = lint(
         "import random\n"
         "a = random.Random(0)  # reprolint: disable=det-wallclock\n")
-    assert rule_ids(findings) == ["det-seeded-random"]
+    # The seeded-random finding is NOT suppressed by the det-wallclock
+    # token, and the token itself — suppressing nothing — is now stale.
+    assert sorted(rule_ids(findings)) == [
+        "det-seeded-random", "stale-suppression"]
 
 
 # -- engine: config, scopes, severity ------------------------------------------------
@@ -515,3 +518,239 @@ def test_dataclass_field_suppression_comment():
         class Audit:
             log: list = field(default_factory=list)  # reprolint: disable=unbounded-queue
     """) == []
+
+
+# -- leak-on-error-path (dataflow) ---------------------------------------------------
+
+def test_leak_on_error_path_flagged():
+    findings = lint("""
+        class Proxy:
+            def serve(self, transport, conn):
+                remote = yield transport.connect_tcp("host", 443, timeout=5.0)
+                conn.send_message(8, meta=("x",))
+                remote.close()
+    """, module="repro.core.fixture")
+    assert "leak-on-error-path" in rule_ids(findings)
+    finding = next(f for f in findings if f.rule == "leak-on-error-path")
+    assert "`remote`" in finding.message
+
+
+def test_leak_released_on_error_path_clean():
+    assert lint("""
+        class Proxy:
+            def serve(self, transport, conn):
+                remote = yield transport.connect_tcp("host", 443, timeout=5.0)
+                try:
+                    conn.send_message(8, meta=("x",))
+                except BaseException:
+                    remote.close()
+                    raise
+                remote.close()
+    """, module="repro.core.fixture") == []
+
+
+def test_leak_rule_out_of_scope_not_flagged():
+    assert lint("""
+        class Harness:
+            def serve(self, transport, conn):
+                remote = yield transport.connect_tcp("host", 443, timeout=5.0)
+                conn.send_message(8, meta=("x",))
+    """, module="repro.measure.fixture") == []
+
+
+def test_leak_suppression_comment_honored():
+    assert lint("""
+        class Proxy:
+            def serve(self, transport, conn):
+                remote = yield transport.connect_tcp("host", 443, timeout=5.0)  # reprolint: disable=leak-on-error-path
+                conn.send_message(8, meta=("x",))
+    """, module="repro.core.fixture") == []
+
+
+# -- deadline-unclamped (dataflow) ---------------------------------------------------
+
+def test_unclamped_timeout_next_to_deadline_flagged():
+    findings = lint("""
+        class Hop:
+            def forward(self, transport, deadline):
+                conn = yield transport.connect_tcp("host", 443, timeout=30.0)
+                conn.close()
+    """, module="repro.core.fixture")
+    assert "deadline-unclamped" in rule_ids(findings)
+
+
+def test_clamped_timeout_clean():
+    assert lint("""
+        class Hop:
+            def forward(self, transport, sim, deadline):
+                budget = deadline.clamp(30.0, sim.now)
+                conn = yield transport.connect_tcp("host", 443, timeout=budget)
+                conn.close()
+    """, module="repro.core.fixture") == []
+
+
+def test_timeout_none_and_module_constant_clean():
+    assert lint("""
+        DIAL_TIMEOUT = 30.0
+
+        class Hop:
+            def forward_unbounded(self, transport, deadline):
+                a = yield transport.connect_tcp("host", 1, timeout=None)
+                a.close()
+
+            def forward_constant(self, transport, deadline):
+                b = yield transport.connect_tcp("host", 2, timeout=DIAL_TIMEOUT)
+                b.close()
+    """, module="repro.core.fixture") == []
+
+
+def test_function_without_deadline_not_checked():
+    assert lint("""
+        class Hop:
+            def forward(self, transport):
+                conn = yield transport.connect_tcp("host", 443, timeout=30.0)
+                conn.close()
+    """, module="repro.core.fixture") == []
+
+
+# -- rng-stream-registry (dataflow support tables) -----------------------------------
+
+def test_registry_constructed_outside_owners_flagged():
+    findings = lint("""
+        def build():
+            return RngRegistry(7).stream("mps")
+    """, module="repro.policy.fixture")
+    assert "rng-stream-registry" in rule_ids(findings)
+    assert any("RngRegistry constructed" in f.message for f in findings)
+
+
+def test_unregistered_stream_name_flagged_with_hint():
+    findings = lint("""
+        def draw(sim):
+            return sim.rng.stream("gfw.interferense")
+    """, module="repro.gfw.fixture")
+    assert rule_ids(findings) == ["rng-stream-registry"]
+    assert "gfw.interference" in findings[0].message  # did-you-mean hint
+
+
+def test_stream_drawn_outside_owner_flagged():
+    findings = lint("""
+        def draw(sim):
+            return sim.rng.stream("link.loss")
+    """, module="repro.gfw.fixture")
+    assert rule_ids(findings) == ["rng-stream-registry"]
+
+
+def test_owned_stream_draw_clean():
+    assert lint("""
+        def draw(sim):
+            return sim.rng.stream("link.loss")
+    """, module="repro.net.fixture") == []
+
+
+def test_dynamic_stream_prefix_checked():
+    assert lint("""
+        def draw(sim, a, b):
+            return sim.rng.stream(f"link:{a}->{b}")
+    """, module="repro.net.fixture") == []
+    findings = lint("""
+        def draw(sim, a, b):
+            return sim.rng.stream(f"edge:{a}->{b}")
+    """, module="repro.net.fixture")
+    assert rule_ids(findings) == ["rng-stream-registry"]
+
+
+# -- wire-schema (dataflow support tables) -------------------------------------------
+
+def test_wire_tuple_wrong_arity_flagged():
+    findings = lint("""
+        def hello(conn):
+            conn.send_message(16, meta=("sc-overload", 0.05, "extra"))
+    """, module="repro.core.fixture")
+    assert rule_ids(findings) == ["wire-schema"]
+
+
+def test_wire_tuple_valid_arities_clean():
+    assert lint("""
+        def hello(conn, token):
+            conn.send_message(64, meta=("sc-connect", "host", 443))
+            conn.send_message(64, meta=("sc-connect", "host", 443, token))
+            conn.send_message(16, meta=("sc-overload", 0.05))
+    """, module="repro.core.fixture") == []
+
+
+def test_wire_guard_wrong_length_flagged():
+    findings = lint("""
+        def parse(frame):
+            if frame[0] == "sc-overload" and len(frame) == 5:
+                return frame[1]
+            return None
+    """, module="repro.core.fixture")
+    assert rule_ids(findings) == ["wire-schema"]
+
+
+def test_wire_subscript_past_schema_flagged():
+    findings = lint("""
+        def parse(frame):
+            if frame[0] == "sc-overload":
+                return frame[3]
+            return None
+    """, module="repro.core.fixture")
+    assert rule_ids(findings) == ["wire-schema"]
+    assert "at most 2" in findings[0].message
+
+
+def test_wire_untagged_tuple_ignored():
+    assert lint("""
+        def pack(a, b):
+            return (a, b, a, b)
+    """, module="repro.core.fixture") == []
+
+
+# -- stale-suppression ---------------------------------------------------------------
+
+def test_stale_line_suppression_flagged():
+    findings = lint("""
+        import os
+
+        def ok():
+            return os.getcwd()  # reprolint: disable=det-wallclock
+    """, module="repro.sim.fixture")
+    assert rule_ids(findings) == ["stale-suppression"]
+    assert "det-wallclock" in findings[0].message
+
+
+def test_used_suppression_not_stale():
+    assert lint("""
+        import time
+
+        def stamp():
+            return time.time()  # reprolint: disable=det-wallclock
+    """, module="repro.sim.fixture") == []
+
+
+def test_unknown_rule_id_suppression_flagged():
+    findings = lint("""
+        x = 1  # reprolint: disable=no-such-rule
+    """, module="repro.sim.fixture")
+    assert rule_ids(findings) == ["stale-suppression"]
+    assert "no-such-rule" in findings[0].message
+
+
+def test_stale_file_level_suppression_flagged():
+    findings = lint("""
+        # reprolint: disable=det-seeded-random
+        x = 1
+    """, module="repro.sim.fixture")
+    assert rule_ids(findings) == ["stale-suppression"]
+
+
+def test_out_of_scope_suppression_not_judged():
+    # det-wallclock does not apply in repro.realnet, so an unused
+    # disable there is configuration noise, not a stale suppression.
+    assert lint("""
+        import time
+
+        def stamp():
+            return time.time()  # reprolint: disable=det-wallclock
+    """, module="repro.realnet.fixture") == []
