@@ -15,6 +15,7 @@ import typing as t
 #: Stream name -> dotted module prefixes allowed to draw it.
 STREAM_MANIFEST: t.Dict[str, t.Tuple[str, ...]] = {
     "link.loss": ("repro.net",),
+    "fluid.loss": ("repro.perf",),
     "gfw.interference": ("repro.gfw", "repro.measure"),
     "mps": ("repro.policy",),
     "faults.schedule": ("repro.measure",),

@@ -203,6 +203,11 @@ class DomesticProxy:
 
     def _reject(self, conn: TcpConnection, reason: str) -> None:
         """Fast 503-style rejection: tell the browser, then hang up."""
+        fluid = getattr(self.sim, "fluid", None)
+        if fluid is not None:
+            # A shed/expired session must not ride the fast path out:
+            # the rejection and teardown happen at packet level.
+            fluid.defluidize(conn, reason)
         try:
             conn.send_message(32, meta=("sc-overload", reason))
         except TransportError:

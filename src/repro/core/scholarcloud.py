@@ -239,6 +239,11 @@ class ScholarCloud(AccessMethod):
     def rotate_blinding(self) -> int:
         """Arms-race response: both proxies jump to a fresh codec epoch."""
         self.agility.rotate()
+        fluid = getattr(self.testbed.sim, "fluid", None)
+        if fluid is not None:
+            # Blinded legs calibrated under the old codec epoch must
+            # re-prove themselves against the GFW at packet level.
+            fluid.defluidize_all("blinding-rotation")
         return self.agility.epoch
 
     def teardown(self) -> None:

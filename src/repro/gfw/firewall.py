@@ -110,6 +110,11 @@ class GreatFirewall(Middlebox):
         """
         mutation(self)
         self._dispatch_snapshot = None  # mutation may have swapped classifiers
+        fluid = getattr(self.sim, "fluid", None)
+        if fluid is not None:
+            # Fluidized flows were vetted against the *old* policy;
+            # force them back to packet level to re-prove themselves.
+            fluid.on_policy_change(label)
         self.policy_log.append((self.sim.now, label))
         self._trace_plain("gfw.policy-change", label=label)
 
@@ -275,6 +280,9 @@ class GreatFirewall(Middlebox):
 
     def _on_probe_confirm(self, address: str) -> None:
         self.policy.block_ip(address)
+        fluid = getattr(self.sim, "fluid", None)
+        if fluid is not None:
+            fluid.on_policy_change("probe-confirmed")
         self._trace_plain("gfw.probe-confirmed", address=address)
 
     # -- tracing -------------------------------------------------------------------------------

@@ -81,6 +81,27 @@ class FlowTable:
         state.last_seen = now
         return state
 
+    def observe_bulk(self, flow: t.Optional[FlowKey], packets: int,
+                     size: int, now: float) -> t.Optional[FlowState]:
+        """Account a fluidized burst without per-packet ``observe`` calls.
+
+        Timing samples (``recent_times``) are deliberately not touched:
+        a flow only fluidizes once cadence-based classification is
+        settled, so bulk traffic carries no per-packet timestamps.
+        """
+        key = canonical_flow(flow)
+        if key is None:
+            return None
+        state = self._flows.get(key)
+        if state is None:
+            self._evict_if_needed(now)
+            state = FlowState(key=key, first_seen=now)
+            self._flows[key] = state
+        state.packets += packets
+        state.bytes += size
+        state.last_seen = now
+        return state
+
     def get(self, flow: t.Optional[FlowKey]) -> t.Optional[FlowState]:
         key = canonical_flow(flow)
         if key is None:

@@ -19,6 +19,7 @@ from .page import (
     PageObject,
     google_scholar_home,
     google_scholar_results,
+    scholar_pdf,
     plain_site_page,
 )
 from .server import ACCOUNT_RECORD_PATH, WebServer
@@ -44,6 +45,7 @@ __all__ = [
     "fetch",
     "google_scholar_home",
     "google_scholar_results",
+    "scholar_pdf",
     "parse_url",
     "plain_site_page",
 ]

@@ -90,6 +90,26 @@ def google_scholar_results() -> Page:
     )
 
 
+def scholar_pdf() -> Page:
+    """A paper PDF download: one large, uncacheable document.
+
+    The bulk steady-state workload for the fluid-mode sweeps — a
+    Scholar user who found the paper and pulls the full text.  No
+    subresources, no account recording: almost every wire byte is one
+    long transfer, which is the traffic class the analytic flow model
+    collapses.
+    """
+    return Page(
+        host="scholar.google.com",
+        path="/pdf/censorship-measurement.pdf",
+        document_size=1_200_000,
+        objects=[],
+        document_cacheable=False,
+        records_account=False,
+        parse_time=0.01,
+    )
+
+
 def plain_site_page(host: str = "www.example.com") -> Page:
     """A small non-blocked page, used for baseline comparisons."""
     return Page(

@@ -326,9 +326,14 @@ CONCURRENCY_LEVELS = (5, 15, 30, 60, 90, 120, 150, 180)
 
 
 def run_scalability_point(method: str, clients: int, cycles: int = 3,
-                          seed: int = 0) -> Summary:
-    """Mean PLT with ``clients`` concurrent browsers (one Figure 7 point)."""
-    world = prepare(method, seed=seed, extra_clients=clients)
+                          seed: int = 0, mode: str = "packet") -> Summary:
+    """Mean PLT with ``clients`` concurrent browsers (one Figure 7 point).
+
+    ``mode`` selects the simulation mode (``packet``/``hybrid``/
+    ``fluid``, see :mod:`repro.perf.fluid`); ``packet`` is the
+    byte-identical default.
+    """
+    world = prepare(method, seed=seed, extra_clients=clients, fluid=mode)
     testbed = world.testbed
     plts: t.List[float] = []
     done: t.List[t.Any] = []
@@ -391,18 +396,34 @@ def run_overload_point(method: str = "scholarcloud", clients: int = 60,
                        cycles: int = 3, seed: int = 0,
                        overload: t.Optional[OverloadConfig] = None,
                        total_deadline: t.Optional[float] = None,
+                       mode: str = "packet",
+                       workload: str = "home",
                        ) -> OverloadResult:
     """One extended-Figure-7 point, optionally with overload knobs on.
 
     The client driver is event-for-event identical to
     :func:`run_scalability_point` — same rng stream, same process
-    names, same warm-up — so with ``overload=None`` and
-    ``total_deadline=None`` the PLT summary is byte-identical to the
+    names, same warm-up — so with ``overload=None``,
+    ``total_deadline=None``, and the defaults ``mode="packet"`` /
+    ``workload="home"`` the PLT summary is byte-identical to the
     untouched Figure 7 harness (a regression test holds this).
+
+    ``mode`` selects the simulation mode (see :mod:`repro.perf.fluid`);
+    ``workload`` picks the page each client loads: ``"home"`` (the
+    19 KB Scholar home page) or ``"pdf"`` (a 1.2 MB paper download,
+    the bulk steady-state traffic the fluid fast path collapses).
     """
     world = prepare(method, seed=seed, overload=overload,
-                    extra_clients=clients)
+                    extra_clients=clients, fluid=mode)
     testbed = world.testbed
+    if workload == "home":
+        work_page = testbed.scholar_page
+    elif workload == "pdf":
+        from ..http import scholar_pdf
+        work_page = scholar_pdf()
+        testbed.scholar_server.add_page(work_page)
+    else:
+        raise MeasurementError(f"unknown workload {workload!r}")
     plts: t.List[float] = []
     outcomes: t.List[t.Tuple[bool, t.Optional[str]]] = []
 
@@ -412,10 +433,10 @@ def run_overload_point(method: str = "scholarcloud", clients: int = 60,
                           total_deadline=total_deadline)
         yield sim.timeout(offset)
         # Warm-up: populate caches, then measure.
-        yield sim.process(browser.load(testbed.scholar_page))
+        yield sim.process(browser.load(work_page))
         for _ in range(cycles):
             yield sim.timeout(MEASUREMENT_INTERVAL)
-            result = yield sim.process(browser.load(testbed.scholar_page))
+            result = yield sim.process(browser.load(work_page))
             outcomes.append((result.succeeded, result.error))
             if result.succeeded:
                 plts.append(result.plt)

@@ -66,8 +66,19 @@ class Testbed:
         extra_clients: int = 0,
         gfw_enabled: bool = True,
         remote_replicas: int = 0,
+        fluid: t.Optional[t.Any] = None,
     ) -> None:
+        """``fluid`` accepts a :class:`~repro.perf.fluid.FluidConfig`
+        (or a mode string from :data:`~repro.perf.fluid.MODES`); None
+        keeps the simulation purely packet-level."""
         self.sim = Simulator(seed=seed)
+        self.fluid = None
+        if fluid is not None:
+            from ..perf.fluid import FluidRegistry, fluid_config_for_mode
+            config = (fluid_config_for_mode(fluid)
+                      if isinstance(fluid, str) else fluid)
+            if config is not None:
+                self.fluid = FluidRegistry(self.sim, config).install()
         self.rng = self.sim.rng
         self.trace = TraceLog(self.sim)
         self.net = Network(self.sim, rng=self.rng, trace=self.trace)

@@ -100,6 +100,7 @@ class Link:
     def set_up(self, up: bool) -> None:
         """Flap the link; packets in flight are unaffected, new ones drop."""
         self.up = up
+        self._notify_fluid()
         if self.trace is not None:
             self.trace.emit("link.admin", link=self.name,
                             state="up" if up else "down")
@@ -115,9 +116,16 @@ class Link:
             if latency < 0:
                 raise NetworkError(f"negative latency: {latency}")
             self.latency = latency
+        self._notify_fluid()
         if self.trace is not None:
             self.trace.emit("link.conditions", link=self.name,
                             loss=self.loss, latency=self.latency)
+
+    def _notify_fluid(self) -> None:
+        """Fault injection invalidates fluid calibration snapshots."""
+        fluid = getattr(self.sim, "fluid", None)
+        if fluid is not None:
+            fluid.on_link_change(self)
 
     # -- data path -----------------------------------------------------------
 

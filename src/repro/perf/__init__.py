@@ -20,8 +20,21 @@ machinery that keeps the optimized paths honest and the sweeps fast:
 * :mod:`repro.perf.bench` — ``python -m repro.perf.bench`` times the
   micro and end-to-end benches, writes ``BENCH_perf.json`` at the repo
   root, and gates against the committed baseline with a tolerance.
+* :mod:`repro.perf.fluid` — the fluid-flow fast path: steady-state
+  connections collapse per-packet transfers into single analytic
+  :class:`~repro.sim.FlowEvent` deliveries (``--mode hybrid``), held
+  to declared tolerance bands against packet mode.
 """
 
+from .fluid import (
+    MODES,
+    TOLERANCE_BANDS,
+    FluidConfig,
+    FluidRegistry,
+    aggregate_overload,
+    band_failures,
+    fluid_config_for_mode,
+)
 from .runner import (
     SweepPoint,
     run_points,
@@ -30,7 +43,14 @@ from .runner import (
 )
 
 __all__ = [
+    "FluidConfig",
+    "FluidRegistry",
+    "MODES",
     "SweepPoint",
+    "TOLERANCE_BANDS",
+    "aggregate_overload",
+    "band_failures",
+    "fluid_config_for_mode",
     "run_points",
     "scalability_sweep",
     "serial_map",

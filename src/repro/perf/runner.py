@@ -119,15 +119,22 @@ def scalability_points(
     levels: t.Sequence[int],
     cycles: int = 1,
     seed: int = 0,
+    mode: str = "packet",
 ) -> t.List[SweepPoint]:
-    """The Figure 7 grid as sweep points (one per method × level)."""
+    """The Figure 7 grid as sweep points (one per method × level).
+
+    ``mode`` is the simulation mode axis (see :mod:`repro.perf.fluid`):
+    ``"packet"`` keeps the historical labels, any other mode is folded
+    into the label so mixed-mode sweeps stay uniquely keyed.
+    """
     from ..measure.scenarios import run_scalability_point
 
     return [
-        SweepPoint(label=(method, int(level), int(seed)),
+        SweepPoint(label=((method, int(level), int(seed)) if mode == "packet"
+                          else (method, int(level), int(seed), mode)),
                    function=run_scalability_point,
                    kwargs={"method": method, "clients": int(level),
-                           "cycles": cycles, "seed": seed})
+                           "cycles": cycles, "seed": seed, "mode": mode})
         for method in methods
         for level in levels
     ]
@@ -140,13 +147,15 @@ def scalability_sweep(
     seed: int = 0,
     workers: t.Optional[int] = None,
     parallel: bool = True,
+    mode: str = "packet",
 ) -> t.Dict[t.Tuple[t.Any, ...], t.Any]:
     """Run the Figure 7 grid; returns ``{(method, level, seed): Summary}``.
 
     Identical results whether ``parallel`` is on or off — the parallel
     path only reorders wall-clock execution, never the merge.
     """
-    points = scalability_points(methods, levels, cycles=cycles, seed=seed)
+    points = scalability_points(methods, levels, cycles=cycles, seed=seed,
+                                mode=mode)
     return merge_by_label(points, run_points(points, workers=workers,
                                              parallel=parallel))
 
@@ -180,11 +189,19 @@ def fault_points(methods: t.Sequence[str], seeds: t.Sequence[int],
 
 def overload_points(clients_levels: t.Sequence[int], seed: int = 0,
                     **kwargs: t.Any) -> t.List[SweepPoint]:
-    """The overload sweep (extended Figure 7) as sweep points."""
+    """The overload sweep (extended Figure 7) as sweep points.
+
+    A non-default ``mode=`` kwarg (the fluid-simulation axis) is folded
+    into the label so packet and hybrid cells of the same grid stay
+    uniquely keyed.
+    """
     from ..measure.scenarios import run_overload_point
 
+    mode = kwargs.get("mode", "packet")
     return [
-        SweepPoint(label=("scholarcloud", int(clients), int(seed)),
+        SweepPoint(label=(("scholarcloud", int(clients), int(seed)) if
+                          mode == "packet" else
+                          ("scholarcloud", int(clients), int(seed), mode)),
                    function=run_overload_point,
                    kwargs={"clients": int(clients), "seed": seed, **kwargs})
         for clients in clients_levels

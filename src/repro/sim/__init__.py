@@ -13,7 +13,7 @@ Public surface::
     result = sim.run(until=sim.process(proc(sim)))
 """
 
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import AllOf, AnyOf, Event, FlowEvent, Timeout
 from .kernel import Process, Simulator
 from .monitor import Counter, Gauge, TraceLog, TraceRecord
 from .resources import ProcessorSharingServer, Resource, Store
@@ -24,6 +24,7 @@ __all__ = [
     "AnyOf",
     "Counter",
     "Event",
+    "FlowEvent",
     "Gauge",
     "Process",
     "ProcessorSharingServer",

@@ -174,6 +174,30 @@ class Timeout(Event):
         super()._run_callbacks()
 
 
+class FlowEvent(Timeout):
+    """A coarse-grained flow-level event (fluid fast path).
+
+    Where a packet-mode transfer schedules one :class:`Timeout` per
+    segment hop, a fluidized transfer schedules a single ``FlowEvent``
+    for the whole message: ``flow`` identifies the connection 5-tuple
+    and ``kind`` the milestone (``"deliver"``, ``"fin"``, ...).  It is
+    an ordinary :class:`Timeout` underneath — same ``(time, priority,
+    seq)`` ordering, same queue — so flow events interleave
+    deterministically with packet events in hybrid runs.
+    """
+
+    __slots__ = ("flow", "kind")
+
+    def __init__(self, sim: "Simulator", delay: float, flow: t.Any,
+                 kind: str, value: t.Any = None) -> None:
+        super().__init__(sim, delay, value)
+        self.flow = flow
+        self.kind = kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FlowEvent {self.kind!r} flow={self.flow!r} delay={self.delay}>"
+
+
 class AnyOf(Event):
     """Fires as soon as any child event fires.
 

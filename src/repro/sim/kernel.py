@@ -24,7 +24,7 @@ import heapq
 import typing as t
 
 from ..errors import ProcessKilled, SimulationError
-from .events import AllOf, AnyOf, Event, Timeout, PRIORITY_URGENT
+from .events import AllOf, AnyOf, Event, FlowEvent, Timeout, PRIORITY_URGENT
 from .rng import RngRegistry
 
 ProcessGenerator = t.Generator[Event, t.Any, t.Any]
@@ -125,6 +125,10 @@ class Simulator:
         self._seq = 0
         self._running = False
         self.rng = rng if rng is not None else RngRegistry(seed)
+        #: Optional fluid-flow registry (see :mod:`repro.perf.fluid`).
+        #: ``None`` means pure packet mode; components must treat that
+        #: as "no fast path" so packet-mode traces are bit-unchanged.
+        self.fluid: t.Optional[t.Any] = None
 
     # -- clock -------------------------------------------------------------
 
@@ -142,6 +146,11 @@ class Simulator:
     def timeout(self, delay: float, value: t.Any = None) -> Timeout:
         """Create an event that fires ``delay`` seconds from now."""
         return Timeout(self, delay, value)
+
+    def flow_event(self, delay: float, flow: t.Any, kind: str,
+                   value: t.Any = None) -> FlowEvent:
+        """Create a coarse-grained flow event ``delay`` seconds from now."""
+        return FlowEvent(self, delay, flow, kind, value)
 
     def process(
         self,

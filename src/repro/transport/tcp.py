@@ -52,6 +52,8 @@ MIN_RTO = 0.2
 MAX_RTO = 30.0
 #: SYN retry limit before the connect attempt fails.
 SYN_RETRIES = 6
+#: FIN retransmissions before giving up on confirming EOF delivery.
+FIN_RETRIES = 6
 
 
 @dataclass
@@ -103,6 +105,14 @@ class _SendBuffer:
             if start < end_offset:
                 return features
         return None
+
+    def skip(self, length: int) -> None:
+        """Account ``length`` bytes carried out-of-band (fluid fast path).
+
+        No boundary is recorded: the fluid path delivers the message
+        meta directly, so the packet machinery must never see it.
+        """
+        self.length += length
 
 
 @dataclass
@@ -165,6 +175,12 @@ class TcpConnection:
         self._pending_ends: t.List[t.Tuple[int, t.Any]] = []
         self._inbox: Store = Store(self.sim)
         self._peer_closed = False
+        # Orderly-close state: the FIN occupies one sequence number and
+        # is retransmitted until the peer acknowledges it — a single
+        # lost FIN must not strand a reader waiting for EOF forever.
+        self._fin_seq: t.Optional[int] = None
+        self._fin_acked = False
+        self._fin_tries = 0
         # Delayed-ACK state (RFC 1122: ack at least every 2nd segment
         # or within 40 ms).
         self._unacked_segments = 0
@@ -175,6 +191,15 @@ class TcpConnection:
         self.bytes_received = 0
         self.packets_sent = 0
         self.retransmissions = 0
+
+        # Fluid fast-path state (see repro.perf.fluid); inert in packet
+        # mode — nothing below is touched unless sim.fluid is installed.
+        self._fluid_horizon = 0.0       # latest scheduled fluid delivery
+        self._fluid_pending = 0         # bytes in fluid flight
+        self._fluid_block = 0           # packets_sent gate after de-fluidization
+        self._fluid_epoch: t.Optional[int] = None
+        self._fluid_peer: t.Optional["TcpConnection"] = None
+        self._fluid_path: t.Optional[t.Any] = None
 
     # -- public API --------------------------------------------------------------
 
@@ -190,6 +215,9 @@ class TcpConnection:
             raise ConnectionReset(f"{self.flow}: connection was reset")
         if length <= 0:
             raise TransportError(f"message length must be positive: {length}")
+        fluid = self.sim.fluid
+        if fluid is not None and fluid.try_transfer(self, length, meta, features):
+            return
         self._send_buffer.enqueue(Message(length, meta, features))
         self._pump()
 
@@ -209,11 +237,39 @@ class TcpConnection:
         """Orderly close (modeled as a FIN that delivers EOF at the peer)."""
         if self.state in (self.CLOSED, self.RESET):
             return
-        fin = Segment(self.local_port, self.remote_port,
-                      seq=self._snd_nxt, ack=self._rcv_nxt,
-                      flags=frozenset({"FIN", "ACK"}))
         self.state = self.CLOSED
+        # A fluid delivery still in flight must reach the peer before
+        # EOF; defer the FIN to the fluid horizon (packet mode: 0.0,
+        # so the FIN goes out synchronously as it always did).
+        delay = self._fluid_horizon - self.sim.now
+        if delay > 0:
+            self.sim.schedule(delay, self._emit_fin)
+        else:
+            self._emit_fin()
+
+    def _emit_fin(self) -> None:
+        """Send (or resend) the FIN; rearm until the peer acks it.
+
+        The FIN consumes one sequence number past the data stream, so
+        the peer's cumulative ACK of ``_fin_seq + 1`` confirms EOF
+        delivery.  Links drop packets; without this a close racing a
+        drop leaves the peer blocked on ``recv_message`` forever.
+        """
+        if self.state != self.CLOSED or self._fin_acked:
+            return  # reset in the meantime, or EOF already confirmed
+        if self._fin_tries >= FIN_RETRIES:
+            return  # peer unreachable; give up like a real stack
+        if self._fin_seq is None:
+            self._fin_seq = self._snd_nxt
+        self._fin_tries += 1
+        if self._fin_tries > 1:
+            self.retransmissions += 1
+        fin = Segment(self.local_port, self.remote_port,
+                      seq=self._fin_seq, ack=self._rcv_nxt,
+                      flags=frozenset({"FIN", "ACK"}))
         self._emit(fin, ACK_SIZE, self.features)
+        backoff = min(self._rto * (2 ** (self._fin_tries - 1)), MAX_RTO)
+        self.sim.schedule(backoff, self._emit_fin)
 
     def abort(self) -> None:
         """Send a RST and tear down immediately."""
@@ -308,8 +364,18 @@ class TcpConnection:
         if segment.length > 0:
             self._process_data(segment)
         if "FIN" in segment.flags:
-            self._peer_closed = True
-            self._inbox.put(None)  # EOF
+            if not self._peer_closed:
+                self._peer_closed = True
+                self._inbox.put(None)  # EOF
+            if segment.seq <= self._rcv_nxt:
+                # Everything before the FIN has arrived: acknowledge the
+                # FIN itself (cumulative ack past it) so the closer can
+                # stop retransmitting.  Re-acking duplicates covers a
+                # lost FIN-ack.
+                fin_ack = Segment(self.local_port, self.remote_port,
+                                  seq=self._snd_nxt, ack=segment.seq + 1,
+                                  flags=frozenset({"ACK"}))
+                self._emit(fin_ack, ACK_SIZE, self.features)
 
     def _establish_client(self, segment: Segment) -> None:
         self.state = self.ESTABLISHED
@@ -358,6 +424,8 @@ class TcpConnection:
         self._arm_rto()
 
     def _process_ack(self, ack: int) -> None:
+        if self._fin_seq is not None and ack > self._fin_seq:
+            self._fin_acked = True  # EOF confirmed delivered
         if ack > self._snd_una:
             # New data acknowledged.
             newly_acked = [seq for seq in self._in_flight if seq + self._in_flight[seq].segment.length <= ack]
@@ -504,6 +572,9 @@ class TcpConnection:
 
     def _enter_reset(self, local: bool) -> None:
         self.state = self.RESET
+        fluid = self.sim.fluid
+        if fluid is not None:
+            fluid.on_reset(self)
         self.transport._forget(self)
         error = ConnectionReset(
             f"{self.flow}: reset {'locally' if local else 'by peer or on-path injection'}")
