@@ -23,6 +23,9 @@ STREAM_MANIFEST: t.Dict[str, t.Tuple[str, ...]] = {
     "survey.population": ("repro.measure",),
     "resilience.sc-client": ("repro.core",),
     "resilience.sc-domestic": ("repro.core",),
+    "failover.health": ("repro.faults",),
+    "fleet.detector": ("repro.fleet",),
+    "fleet.offsets": ("repro.fleet",),
 }
 
 #: Dynamic (f-string) stream name prefixes -> allowed module prefixes.
@@ -30,6 +33,9 @@ STREAM_MANIFEST: t.Dict[str, t.Tuple[str, ...]] = {
 #: network substrate.
 DYNAMIC_STREAM_PREFIXES: t.Dict[str, t.Tuple[str, ...]] = {
     "link:": ("repro.net",),
+    #: Per-region firewall interference streams (multi-region fleets
+    #: keep each region's draws variance-isolated).
+    "gfw.interference:": ("repro.fleet",),
 }
 
 #: Modules allowed to construct an RngRegistry.  Everyone else must

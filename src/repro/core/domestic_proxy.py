@@ -62,7 +62,12 @@ class DomesticProxy:
         dial_timeout: float = DIAL_TIMEOUT,
         retry: t.Optional[RetryPolicy] = None,
         overload: t.Optional[OverloadConfig] = None,
+        router: t.Optional[t.Any] = None,
     ) -> None:
+        """``router`` (a :class:`~repro.fleet.router.SessionRouter`)
+        layers sticky fleet-wide session->PoP assignment over the
+        failover pool: the router proposes which endpoint a session
+        should dial, the pool's per-endpoint breakers still veto."""
         if whitelist is None or agility is None or cpu is None:
             raise TypeError(
                 "DomesticProxy requires whitelist, agility, and cpu")
@@ -88,10 +93,15 @@ class DomesticProxy:
         self.retry = retry if retry is not None else RetryPolicy(
             attempts=4, base=0.5, cap=4.0,
             rng=sim.rng.stream("resilience.sc-domestic"))
+        self.router = router
         self.streams_served = 0
         self.refused = 0
         self.dials_failed = 0
         self.deadline_drops = 0
+        #: Endpoint-change events across successful dials (mirrors the
+        #: pool's failover semantics for the router-driven path too).
+        self.endpoint_switches = 0
+        self._last_endpoint: t.Optional[Endpoint] = None
         #: Session admission (None = historical unbounded behaviour).
         self.admission: t.Optional[AdmissionController] = None
         if overload is not None:
@@ -167,7 +177,7 @@ class DomesticProxy:
             conn.close()
             self._release(session, succeeded=False)
             return
-        remote = yield from self._dial_remote(deadline)
+        remote = yield from self._dial_remote(deadline, session_key=source)
         if remote is None:
             conn.close()
             self._release(session, succeeded=False)
@@ -186,11 +196,18 @@ class DomesticProxy:
             remote.close()
             conn.close()
             self._release(session, succeeded=False)
+            self._release_route(source)
             return
         up = self.sim.process(self._pump_to_remote(conn, remote),
                               name="scd-up")
         self.sim.process(self._pump_to_browser(conn, remote),
                          name="scd-down")
+        if self.router is not None:
+            # The router's refcount mirrors the admission slot: one
+            # bind per successful dial, one release when the
+            # browser-facing pump finishes (drain completion keys off
+            # this reaching zero).
+            up.add_callback(lambda _event, k=source: self._release_route(k))
         if session is not None:
             # The session's slot frees when the browser-facing pump is
             # done — the moment the browser connection delivers EOF or
@@ -219,16 +236,33 @@ class DomesticProxy:
             assert self.admission is not None
             self.admission.release(session, succeeded=succeeded)
 
+    def _release_route(self, key: str) -> None:
+        if self.router is not None:
+            self.router.release(key)
+
     # -- transpacific dialing -----------------------------------------------------------------
 
-    def _dial_remote(self, deadline: t.Optional[Deadline] = None):
+    def _pick_endpoint(self, session_key: t.Optional[str]) -> t.Optional[Endpoint]:
+        """Next endpoint to try: router-assigned if routed, else pool order."""
+        if self.router is not None and session_key is not None:
+            return self.router.route(session_key, allow=self._breaker_allows)
+        return self.pool.pick()
+
+    def _breaker_allows(self, endpoint: Endpoint) -> bool:
+        breaker = self.pool.breakers.get(endpoint)
+        return True if breaker is None else breaker.allow()
+
+    def _dial_remote(self, deadline: t.Optional[Deadline] = None,
+                     session_key: t.Optional[str] = None):
         """Open a blinded connection to a healthy remote proxy.
 
         Retries with capped jittered backoff; each attempt asks the
-        failover pool for the highest-priority endpoint whose breaker
-        admits traffic.  Returns None only once every attempt across
-        every admissible endpoint has failed — or, with a request
-        deadline, once the next attempt could not finish in time.
+        session router (when one is wired) for the sticky/rendezvous
+        endpoint, falling back to failover-pool priority order — in
+        both cases only endpoints whose breaker admits traffic.
+        Returns None only once every attempt across every admissible
+        endpoint has failed — or, with a request deadline, once the
+        next attempt could not finish in time.
         """
         transport = t.cast(TransportLayer, self.host.transport)
         if deadline is None:
@@ -240,7 +274,7 @@ class DomesticProxy:
         for delay in attempt_delays:
             if delay > 0.0:
                 yield self.sim.timeout(delay)
-            endpoint = self.pool.pick()
+            endpoint = self._pick_endpoint(session_key)
             if endpoint is None:
                 continue  # every breaker open; back off and re-ask
             if deadline is not None:
@@ -255,6 +289,18 @@ class DomesticProxy:
                 self.pool.record_failure(endpoint)
                 continue
             self.pool.record_success(endpoint)
+            if self.router is not None and session_key is not None:
+                # Routed: a switch is a *session* landing somewhere other
+                # than its sticky binding (different sessions hashing to
+                # different PoPs is spread, not churn).
+                previous = self.router.last_endpoint(session_key)
+                if previous is not None and previous != endpoint:
+                    self.endpoint_switches += 1
+                self.router.bind(session_key, endpoint)
+            elif (self._last_endpoint is not None
+                    and endpoint != self._last_endpoint):
+                self.endpoint_switches += 1
+            self._last_endpoint = endpoint
             return conn
         self.dials_failed += 1
         return None

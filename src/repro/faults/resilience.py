@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 import typing as t
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import TransportError
 from ..net import IPv4Address
@@ -30,11 +30,16 @@ if t.TYPE_CHECKING:  # pragma: no cover
 
 @dataclass(frozen=True)
 class Endpoint:
-    """One dialable (address, port) pair in a failover pool."""
+    """One dialable (address, port) pair in a failover pool.
+
+    ``name`` is a display label only — identity (equality, hashing) is
+    the (address, port) pair, so a labelled endpoint handed out by a
+    router compares equal to the pool's own unlabelled one.
+    """
 
     address: IPv4Address
     port: int
-    name: str = ""
+    name: str = field(default="", compare=False)
 
     def __str__(self) -> str:
         return self.name or f"{self.address}:{self.port}"
@@ -114,10 +119,13 @@ class CircuitBreaker:
 
     Opens after ``failure_threshold`` consecutive failures; after
     ``reset_timeout`` simulated seconds the next :meth:`allow` call
-    flips it to HALF_OPEN, admitting one trial — success closes the
-    breaker, failure re-opens it.  Every transition is recorded as
-    ``(sim.now, from_state, to_state)`` so tests can assert the exact
-    recovery trace.
+    flips it to HALF_OPEN, admitting exactly *one* in-flight trial —
+    success closes the breaker, failure re-opens it.  While that trial
+    is outstanding every other :meth:`allow` call is refused, so a
+    recovering endpoint sees a single probe instead of the thundering
+    herd that re-overloads it the moment the window elapses.  Every
+    transition is recorded as ``(sim.now, from_state, to_state)`` so
+    tests can assert the exact recovery trace.
     """
 
     CLOSED = "closed"
@@ -133,6 +141,8 @@ class CircuitBreaker:
         self.state = self.CLOSED
         self.consecutive_failures = 0
         self.opened_at: t.Optional[float] = None
+        #: True while the single HALF_OPEN trial is outstanding.
+        self.trial_in_flight = False
         self.transitions: t.List[t.Tuple[float, str, str]] = []
 
     def _transition(self, to_state: str) -> None:
@@ -140,23 +150,36 @@ class CircuitBreaker:
         self.state = to_state
 
     def allow(self) -> bool:
-        """May a request be attempted right now?"""
+        """May a request be attempted right now?
+
+        In HALF_OPEN exactly one caller is admitted as the trial; the
+        rest are refused until :meth:`record_success` or
+        :meth:`record_failure` lands the trial's verdict.
+        """
         if self.state == self.OPEN:
             assert self.opened_at is not None
             if self.sim.now - self.opened_at >= self.reset_timeout:
                 self._transition(self.HALF_OPEN)
+                self.trial_in_flight = True
                 return True
             return False
+        if self.state == self.HALF_OPEN:
+            if self.trial_in_flight:
+                return False
+            self.trial_in_flight = True
+            return True
         return True
 
     def record_success(self) -> None:
         self.consecutive_failures = 0
+        self.trial_in_flight = False
         if self.state != self.CLOSED:
             self._transition(self.CLOSED)
             self.opened_at = None
 
     def record_failure(self) -> None:
         self.consecutive_failures += 1
+        self.trial_in_flight = False
         if self.state == self.HALF_OPEN or (
                 self.state == self.CLOSED
                 and self.consecutive_failures >= self.failure_threshold):
@@ -187,8 +210,14 @@ class FailoverPool:
                 reset_timeout=reset_timeout, name=str(endpoint))
             for endpoint in self.endpoints
         }
+        #: Endpoint-*change* events: bumped only when :meth:`pick`
+        #: returns a different endpoint than the previous pick (failover
+        #: to a replica, or failback to a recovered primary) — not on
+        #: every pick made while the primary happens to be down, so
+        #: "6 failovers" means six actual switches.
         self.failovers = 0
         self.probes_sent = 0
+        self._current: Endpoint = self.endpoints[0]
 
     @property
     def primary(self) -> Endpoint:
@@ -198,8 +227,9 @@ class FailoverPool:
         """First endpoint whose breaker admits traffic; None if all open."""
         for endpoint in self.endpoints:
             if self.breakers[endpoint].allow():
-                if endpoint is not self.primary:
+                if endpoint is not self._current:
                     self.failovers += 1
+                    self._current = endpoint
                 return endpoint
         return None
 
@@ -213,27 +243,44 @@ class FailoverPool:
 
     def start_health_checks(self, transport: "TransportLayer",
                             interval: float = 15.0, timeout: float = 3.0,
-                            features=None):
-        """Start the periodic probe process; returns the Process."""
-        return self.sim.process(
-            self._health_loop(transport, interval, timeout, features),
-            name="failover-health")
+                            features=None, rng=None):
+        """Start one staggered probe process per endpoint.
 
-    def _health_loop(self, transport: "TransportLayer", interval: float,
-                     timeout: float, features):
+        Each endpoint gets its own phase offset in ``[0, interval)``
+        drawn from the ``failover.health`` rng stream (in endpoint
+        order, so the stagger is seed-stable) instead of every endpoint
+        being probed in the same tick of one fixed-interval timer —
+        which would synchronize probe bursts across the pool exactly
+        when a shared outage makes every breaker half-open at once.
+        Returns the list of probe processes, in endpoint order.
+        """
+        if rng is None:
+            rng = self.sim.rng.stream("failover.health")
+        processes = []
+        for endpoint in self.endpoints:
+            offset = rng.uniform(0.0, interval)
+            processes.append(self.sim.process(
+                self._health_loop(endpoint, transport, offset, interval,
+                                  timeout, features),
+                name=f"failover-health:{endpoint}"))
+        return processes
+
+    def _health_loop(self, endpoint: Endpoint, transport: "TransportLayer",
+                     offset: float, interval: float, timeout: float,
+                     features):
+        breaker = self.breakers[endpoint]
+        yield self.sim.timeout(offset)
         while True:
             yield self.sim.timeout(interval)
-            for endpoint in self.endpoints:
-                breaker = self.breakers[endpoint]
-                if not breaker.allow():
-                    continue  # open and inside its reset window
-                self.probes_sent += 1
-                try:
-                    conn = yield transport.connect_tcp(
-                        endpoint.address, endpoint.port,
-                        features=features, timeout=timeout)
-                except TransportError:
-                    breaker.record_failure()
-                    continue
-                breaker.record_success()
-                conn.close()
+            if not breaker.allow():
+                continue  # open and inside its reset window
+            self.probes_sent += 1
+            try:
+                conn = yield transport.connect_tcp(
+                    endpoint.address, endpoint.port,
+                    features=features, timeout=timeout)
+            except TransportError:
+                breaker.record_failure()
+                continue
+            breaker.record_success()
+            conn.close()

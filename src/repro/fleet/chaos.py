@@ -1,0 +1,159 @@
+"""Fleet-scale chaos campaigns: faults sized to a multi-region fleet.
+
+Extends :class:`~repro.faults.FaultSchedule` with three fleet-native
+fault kinds:
+
+* ``pop-blackout`` — a whole PoP dies (VM crash: listeners vanish,
+  established connections abort) and later restarts.  The failure
+  detector should evict it, the router should remap only its sessions,
+  and reinstatement should restore the membership — the headline
+  experiment's mid-sweep event.
+* ``regional-escalation`` — one region's firewall escalates (extra
+  keywords, scaled interference, longer reset penalties) while every
+  other region's policy is untouched: regional GFW divergence as a
+  *fault*, applied and reverted through the firewall's audited path.
+* ``route-flap`` — a region's border link flaps repeatedly: each flap
+  is a short hard outage, the classic unstable-BGP-path symptom that
+  stresses suspicion thresholds (evict too eagerly and every flap
+  churns sessions; too lazily and a dead PoP lingers).
+
+The builders only *declare* events; :meth:`FleetSchedule.install` binds
+them to a :class:`~repro.fleet.testbed.FleetTestbed` via a
+:class:`FleetInjector`, which inherits the base kinds (link faults,
+proxy crashes, DNS bursts) so mixed campaigns compose.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..errors import FaultError
+from ..faults import FaultEvent, FaultInjector, FaultSchedule
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from .testbed import FleetTestbed
+
+
+class FleetSchedule(FaultSchedule):
+    """A fault schedule that also speaks the fleet-scale kinds."""
+
+    # -- builders ---------------------------------------------------------------
+
+    def pop_blackout(self, pop: str, at: float, downtime: float) -> FaultEvent:
+        """Kill the named PoP host outright; restart after ``downtime``."""
+        if downtime <= 0:
+            raise FaultError("pop_blackout needs a positive downtime "
+                             "(a PoP that never returns is a decommission)")
+        return self.add(FaultEvent(at, "pop-blackout", pop, downtime))
+
+    def regional_escalation(
+        self,
+        region: str,
+        at: float,
+        duration: float,
+        keywords: t.Sequence[str] = (),
+        interference_scale: t.Optional[float] = None,
+        penalty_seconds: t.Optional[float] = None,
+    ) -> FaultEvent:
+        """One region's firewall tightens, then reverts.
+
+        ``keywords`` should be keywords *new* to that region's policy —
+        the revert removes them outright.
+        """
+        if not keywords and interference_scale is None and penalty_seconds is None:
+            raise FaultError("regional_escalation needs keywords, "
+                             "interference_scale, and/or penalty_seconds")
+        return self.add(FaultEvent(
+            at, "regional-escalation", region, duration,
+            {"keywords": tuple(keywords),
+             "interference_scale": interference_scale,
+             "penalty_seconds": penalty_seconds}))
+
+    def route_flap(self, region: str, at: float, flaps: int,
+                   period: float, down_fraction: float = 0.5) -> t.List[FaultEvent]:
+        """``flaps`` short outages of the region's border link.
+
+        Each flap starts ``period`` after the previous and holds the
+        link down for ``period * down_fraction`` seconds.
+        """
+        if flaps < 1:
+            raise FaultError(f"route_flap needs flaps >= 1, got {flaps}")
+        if not 0.0 < down_fraction < 1.0:
+            raise FaultError(
+                f"down_fraction must be in (0,1), got {down_fraction}")
+        return [
+            self.add(FaultEvent(at + index * period, "route-flap",
+                                f"border-{region}",
+                                period * down_fraction))
+            for index in range(flaps)
+        ]
+
+    # -- installation -----------------------------------------------------------
+
+    def install(self, testbed: "FleetTestbed") -> "FleetInjector":  # type: ignore[override]
+        injector = FleetInjector(testbed, self)
+        injector.start()
+        return injector
+
+
+class FleetInjector(FaultInjector):
+    """Executes a :class:`FleetSchedule` against one fleet testbed."""
+
+    # -- per-kind handlers ------------------------------------------------------
+
+    def _apply_pop_blackout(self, event: FaultEvent):
+        host = self.testbed.net.node(event.target)
+        transport = host.transport
+        if transport is None:
+            raise FaultError(f"{event.target} has no transport to black out")
+        snapshot = transport.crash()
+
+        def revert() -> None:
+            transport.restore(snapshot)
+        return revert
+
+    def _apply_regional_escalation(self, event: FaultEvent):
+        region = self.testbed.region(event.target)
+        gfw = region.gfw
+        if gfw is None:
+            raise FaultError(
+                f"regional-escalation on {event.target}, which has no firewall")
+        keywords = tuple(event.params.get("keywords") or ())
+        scale = event.params.get("interference_scale")
+        penalty = event.params.get("penalty_seconds")
+        saved_rates = dict(gfw.policy.class_interference)
+        saved_penalty = gfw.config.reset_penalty_seconds
+
+        def escalate(fw) -> None:
+            for keyword in keywords:
+                fw.policy.block_keyword(keyword)
+            if scale is not None:
+                for label, rate in saved_rates.items():
+                    fw.policy.set_interference(label, min(1.0, rate * scale))
+            if penalty is not None:
+                fw.config.reset_penalty_seconds = penalty
+
+        gfw.apply_policy(escalate, label=f"escalation:{event.target}")
+        if not event.duration:
+            return None
+
+        def revert() -> None:
+            def deescalate(fw) -> None:
+                for keyword in keywords:
+                    fw.policy.unblock_keyword(keyword)
+                if scale is not None:
+                    for label, rate in saved_rates.items():
+                        fw.policy.set_interference(label, rate)
+                if penalty is not None:
+                    fw.config.reset_penalty_seconds = saved_penalty
+            gfw.apply_policy(deescalate,
+                             label=f"escalation:{event.target}:revert")
+        return revert
+
+    def _apply_route_flap(self, event: FaultEvent):
+        link = self.testbed.net.link_by_name(event.target)
+        link.set_up(False)
+
+        def revert() -> None:
+            link.set_up(True)
+        return revert

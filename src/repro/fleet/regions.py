@@ -1,0 +1,110 @@
+"""Region catalogue: divergent per-province GFW deployments.
+
+The paper measures from one vantage (Tsinghua, CERNET) but stresses
+that censorship is *not* uniform across China: border links differ by
+province and ISP, and the firewall clusters attached to them run
+divergent keyword sets, interference rates, and penalty windows.  A
+:class:`RegionSpec` captures one such vantage; the fleet testbed builds
+one border link + one :class:`~repro.gfw.GreatFirewall` instance per
+spec, so regional divergence is structural, not a config flag.
+
+Specs are pure data (hashable, picklable) so sweep points can name a
+region by string and rebuild its world inside a worker process.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+from ..errors import MeasurementError
+from ..gfw import BlockPolicy, GfwConfig, default_china_policy
+from ..units import ms
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One domestic vantage: a province/ISP pair on its own border link."""
+
+    name: str
+    province: str
+    isp: str
+    #: Baseline transpacific loss on this region's border link.
+    border_loss: float = 0.002
+    #: One-way border latency (seconds); CERNET's calibrated 75 ms is
+    #: the reference, inland/mobile paths run longer.
+    pacific_one_way: float = ms(75)
+    #: Post-keyword-hit all-traffic reset window (seconds).
+    reset_penalty_seconds: float = 90.0
+    #: Multiplier applied to the default per-class interference rates.
+    interference_scale: float = 1.0
+    #: Keywords this region's cluster filters beyond the national set.
+    extra_keywords: t.Tuple[str, ...] = ()
+    #: Whether this region's cluster runs active probing.
+    active_probing: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.province}/{self.isp})"
+
+
+def region_policy(spec: RegionSpec) -> BlockPolicy:
+    """The national policy plus this region's divergences."""
+    policy = default_china_policy()
+    for keyword in spec.extra_keywords:
+        policy.block_keyword(keyword)
+    if spec.interference_scale != 1.0:
+        for label, rate in list(policy.class_interference.items()):
+            policy.set_interference(
+                label, min(1.0, rate * spec.interference_scale))
+    return policy
+
+
+def region_gfw_config(spec: RegionSpec) -> GfwConfig:
+    """Per-region firewall tunables (divergent penalty windows/probing)."""
+    return GfwConfig(
+        active_probing=spec.active_probing,
+        reset_penalty_seconds=spec.reset_penalty_seconds,
+        inside_name=f"border-cn-{spec.name}",
+    )
+
+
+#: The default fleet: four provinces across three ISPs, spanning the
+#: spread of border conditions and firewall aggressiveness the paper's
+#: §4.3 loss/latency anchors bracket.
+DEFAULT_REGIONS: t.Tuple[RegionSpec, ...] = (
+    RegionSpec("beijing", "Beijing", "cernet"),
+    RegionSpec("shanghai", "Shanghai", "chinanet",
+               border_loss=0.004, pacific_one_way=ms(82),
+               reset_penalty_seconds=120.0, interference_scale=1.5,
+               extra_keywords=("circumvention-howto",)),
+    RegionSpec("guangzhou", "Guangdong", "unicom",
+               border_loss=0.006, pacific_one_way=ms(88),
+               reset_penalty_seconds=60.0, interference_scale=0.8,
+               active_probing=True),
+    RegionSpec("chengdu", "Sichuan", "cmcc",
+               border_loss=0.010, pacific_one_way=ms(95),
+               reset_penalty_seconds=180.0, interference_scale=2.0,
+               extra_keywords=("circumvention-howto", "bridge-distribution")),
+)
+
+_BY_NAME: t.Dict[str, RegionSpec] = {spec.name: spec for spec in DEFAULT_REGIONS}
+
+
+def default_fleet_regions(count: t.Optional[int] = None) -> t.Tuple[RegionSpec, ...]:
+    """The first ``count`` default regions (all four when None)."""
+    if count is None:
+        return DEFAULT_REGIONS
+    if not 1 <= count <= len(DEFAULT_REGIONS):
+        raise MeasurementError(
+            f"fleet supports 1..{len(DEFAULT_REGIONS)} default regions, "
+            f"got {count}")
+    return DEFAULT_REGIONS[:count]
+
+
+def region_by_name(name: str) -> RegionSpec:
+    """Look a default region up by name (sweep workers rebuild from strings)."""
+    spec = _BY_NAME.get(name)
+    if spec is None:
+        raise MeasurementError(
+            f"unknown region {name!r}; defaults: {sorted(_BY_NAME)}")
+    return spec

@@ -1,0 +1,111 @@
+"""The fleet availability report.
+
+Folds per-region experiment results into the operational summary a
+fleet operator actually reads after a chaos campaign: per-region
+availability over time (bucketed), fleet-wide availability, failover
+counts, and session churn attributable to evictions — the quantities
+the ISSUE's acceptance bar ("dip bounded, fully recovered") is stated
+in.  ``render()`` emits the plain-text artifact the CI fleet job
+uploads.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from dataclasses import dataclass
+
+from ..errors import MeasurementError
+from ..measure.metrics import AvailabilitySeries, merge_series
+
+
+@dataclass(frozen=True)
+class RegionReport:
+    """One region's slice of a campaign."""
+
+    region: str
+    series: AvailabilitySeries
+    completed: int
+    failed: int
+    #: Endpoint-change events seen by this region's domestic proxy.
+    failovers: int
+    #: Sessions forcibly re-bound to a different PoP.
+    remaps: int
+
+    @property
+    def attempts(self) -> int:
+        return self.completed + self.failed
+
+    @property
+    def success_rate(self) -> float:
+        return self.completed / self.attempts if self.attempts else 0.0
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """A whole campaign, fleet-wide."""
+
+    regions: t.Tuple[RegionReport, ...]
+    #: Membership events: (time, verb, endpoint) — evict/reinstate/...
+    events: t.Tuple[t.Tuple[float, str, str], ...] = ()
+    evictions: int = 0
+    reinstatements: int = 0
+
+    @property
+    def overall(self) -> AvailabilitySeries:
+        if not self.regions:
+            raise MeasurementError("fleet report with zero regions")
+        return merge_series([region.series for region in self.regions])
+
+    @property
+    def total_failovers(self) -> int:
+        return sum(region.failovers for region in self.regions)
+
+    @property
+    def total_remaps(self) -> int:
+        return sum(region.remaps for region in self.regions)
+
+    def availability_dip(self) -> float:
+        """Worst fleet-wide bucket rate below the best observed rate.
+
+        0.0 means no bucket ever dipped; 0.08 means the worst bucket
+        ran 8 points below the campaign's best bucket — the "bounded
+        dip" number the blackout acceptance bar is stated in.
+        """
+        rates = [rate for rate in self.overall.rates if rate is not None]
+        if not rates:
+            return 0.0
+        return max(rates) - min(rates)
+
+    def recovered(self) -> bool:
+        """Did the final observed bucket climb back to the best rate?
+
+        Within one bucket's sampling noise: the last bucket with data
+        must be within 2 points of the best bucket.
+        """
+        rates = [rate for rate in self.overall.rates if rate is not None]
+        if not rates:
+            return True
+        return rates[-1] >= max(rates) - 0.02
+
+    def render(self) -> str:
+        """The plain-text artifact: one block per region, then the fleet."""
+        lines: t.List[str] = ["fleet availability report", ""]
+        for region in self.regions:
+            lines.append(
+                f"region {region.region}: {region.completed}/"
+                f"{region.attempts} ({region.success_rate:.1%}), "
+                f"failovers={region.failovers} remaps={region.remaps}")
+            lines.append(f"  {region.series}")
+        lines.append("")
+        lines.append(
+            f"fleet: dip={self.availability_dip() * 100:.1f}pt "
+            f"recovered={self.recovered()} "
+            f"failovers={self.total_failovers} remaps={self.total_remaps} "
+            f"evictions={self.evictions} reinstatements={self.reinstatements}")
+        lines.append(f"  {self.overall}")
+        if self.events:
+            lines.append("")
+            lines.append("membership events:")
+            for when, verb, endpoint in self.events:
+                lines.append(f"  {when:10.3f}s {verb:>10} {endpoint}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,257 @@
+"""Fleet sweeps: per-region simulations fanned over the parallel runner.
+
+The headline experiment scales to 10,000 concurrent sessions by
+combining both scaling axes this repo has built:
+
+* *across* regions — each region is a hermetic single-region
+  :class:`~repro.fleet.testbed.FleetTestbed` (all M PoPs, one border),
+  so regions fan out over :func:`repro.perf.runner.run_points` worker
+  processes exactly like Figure 7 cells;
+* *within* a region — the sim runs in hybrid fluid mode
+  (:mod:`repro.perf.fluid`), which collapses steady-state bulk
+  transfer into flow-level updates and makes thousands of concurrent
+  clients per region tractable.
+
+Every point is a pure function of its arguments (region name, PoP
+count, client count, seed, fault script), so the merged fleet report
+is byte-identical serial or parallel, and identical across reruns —
+including the rendezvous session->PoP assignment digest, which a test
+pins across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import typing as t
+from dataclasses import dataclass
+
+from ..errors import MeasurementError
+from ..http import Browser
+from ..measure.metrics import availability_over_time
+from ..perf.runner import SweepPoint, run_points
+from .chaos import FleetSchedule
+from .proxy import ProxyFleet
+from .regions import region_by_name
+from .report import FleetReport, RegionReport
+from .testbed import FleetTestbed
+
+#: Seconds between successive loads per client (matches §4.2's cadence).
+MEASUREMENT_INTERVAL = 60.0
+#: Availability bucket width used by fleet reports.
+REPORT_BUCKET = 30.0
+
+
+@dataclass(frozen=True)
+class FleetRegionResult:
+    """One region's campaign outcome (one sweep cell)."""
+
+    region: str
+    pops: int
+    clients: int
+    seed: int
+    mode: str
+    completed: int
+    failed: int
+    duration: float
+    #: (time, succeeded) per measured load, in completion order.
+    samples: t.Tuple[t.Tuple[float, bool], ...]
+    failovers: int
+    remaps: int
+    evictions: int
+    reinstatements: int
+    #: Router membership events: (time, verb, endpoint).
+    events: t.Tuple[t.Tuple[float, str, str], ...]
+    #: blake2b digest of the final session->PoP assignment.
+    assignment_digest: str
+    #: Fault injector timeline, when a campaign ran.
+    timeline: t.Tuple[t.Tuple[float, str, str, str], ...] = ()
+
+    @property
+    def attempts(self) -> int:
+        return self.completed + self.failed
+
+    @property
+    def goodput(self) -> float:
+        return self.completed / self.duration if self.duration else 0.0
+
+
+def _assignment_digest(assignment: t.Dict[str, str]) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    for key, pop in sorted(assignment.items()):
+        digest.update(f"{key}->{pop};".encode())
+    return digest.hexdigest()
+
+
+def run_fleet_region_point(
+    region: str,
+    pops: int = 3,
+    clients: int = 50,
+    cycles: int = 2,
+    seed: int = 0,
+    mode: str = "hybrid",
+    workload: str = "home",
+    blackout_pop: t.Optional[str] = None,
+    blackout_at: float = 90.0,
+    blackout_downtime: float = 60.0,
+) -> FleetRegionResult:
+    """One region's campaign: ``clients`` sessions against M PoPs.
+
+    ``workload`` picks the page each client loads: ``"home"`` (the
+    19 KB Scholar home page) or ``"pdf"`` (a 1.2 MB paper download,
+    which makes the PoP CPUs the bottleneck — the regime where goodput
+    scales with PoP count).  With ``blackout_pop`` set, that PoP
+    blacks out mid-sweep for ``blackout_downtime`` seconds — the
+    detector evicts it, its sessions fail over (rendezvous
+    re-ranking), and reinstatement follows its restart.  Hermetic and
+    picklable: safe as a :class:`~repro.perf.runner.SweepPoint`
+    function.
+    """
+    if clients < 1:
+        raise MeasurementError(f"fleet point needs clients >= 1, got {clients}")
+    spec = region_by_name(region)
+    testbed = FleetTestbed(seed=seed, regions=[spec], pops=pops,
+                           clients_per_region=clients, fluid=mode)
+    fleet = ProxyFleet(testbed)
+    testbed.run_process(fleet.launch(), name="fleet-launch")
+    if blackout_pop is not None:
+        schedule = FleetSchedule()
+        schedule.pop_blackout(blackout_pop, at=blackout_at,
+                              downtime=blackout_downtime)
+        injector = schedule.install(testbed)
+    else:
+        injector = None
+
+    if workload == "home":
+        page = testbed.scholar_page
+    elif workload == "pdf":
+        from ..http import scholar_pdf
+        page = scholar_pdf()
+        testbed.scholar_server.add_page(page)
+    else:
+        raise MeasurementError(f"unknown workload {workload!r}")
+    samples: t.List[t.Tuple[float, bool]] = []
+
+    def client_loop(sim, host, offset):
+        connector = fleet.connector(region, host=host)
+        browser = Browser(sim, connector, name=f"browser-{host.name}")
+        yield sim.timeout(offset)
+        # Warm-up load: populate caches/tickets, then measure.
+        yield sim.process(browser.load(page))
+        for _ in range(cycles):
+            yield sim.timeout(MEASUREMENT_INTERVAL)
+            result = yield sim.process(browser.load(page))
+            samples.append((sim.now, result.succeeded))
+
+    rng = testbed.rng.stream("fleet.offsets")
+    region_obj = testbed.region(region)
+    processes = []
+    for index, host in enumerate(region_obj.extra_clients[:clients]):
+        offset = rng.uniform(0.0, MEASUREMENT_INTERVAL)
+        processes.append(testbed.sim.process(
+            client_loop(testbed.sim, host, offset),
+            name=f"fleet-load-{index}"))
+    testbed.sim.run(until=testbed.sim.all_of(processes))
+
+    router = fleet.router
+    assert router is not None
+    domestic = fleet.domestics[region]
+    completed = sum(1 for _, succeeded in samples if succeeded)
+    return FleetRegionResult(
+        region=region, pops=pops, clients=clients, seed=seed, mode=mode,
+        completed=completed, failed=len(samples) - completed,
+        duration=testbed.sim.now, samples=tuple(samples),
+        failovers=domestic.endpoint_switches, remaps=router.remaps,
+        evictions=router.evictions, reinstatements=router.reinstatements,
+        events=tuple(router.events),
+        assignment_digest=_assignment_digest(router.assignment()),
+        timeline=tuple(injector.timeline) if injector is not None else ())
+
+
+# -- sweep grids ---------------------------------------------------------------
+
+
+def fleet_points(
+    regions: t.Sequence[str],
+    pops: int = 3,
+    clients: int = 50,
+    cycles: int = 2,
+    seed: int = 0,
+    mode: str = "hybrid",
+    workload: str = "home",
+    blackout_pop: t.Optional[str] = None,
+    blackout_at: float = 90.0,
+    blackout_downtime: float = 60.0,
+) -> t.List[SweepPoint]:
+    """One sweep point per region (the fleet fan-out grid).
+
+    A non-default ``workload`` is folded into the label so mixed
+    grids stay uniquely keyed.
+    """
+    return [
+        SweepPoint(
+            label=((region, int(pops), int(clients), int(seed), mode)
+                   if workload == "home" else
+                   (region, int(pops), int(clients), int(seed), mode,
+                    workload)),
+            function=run_fleet_region_point,
+            kwargs={"region": region, "pops": int(pops),
+                    "clients": int(clients), "cycles": cycles, "seed": seed,
+                    "mode": mode, "workload": workload,
+                    "blackout_pop": blackout_pop,
+                    "blackout_at": blackout_at,
+                    "blackout_downtime": blackout_downtime})
+        for region in regions
+    ]
+
+
+def aggregate_fleet(results: t.Sequence[FleetRegionResult],
+                    bucket: float = REPORT_BUCKET) -> FleetReport:
+    """Fold per-region results into one fleet availability report."""
+    if not results:
+        raise MeasurementError("cannot aggregate zero fleet results")
+    horizon = max(result.duration for result in results)
+    regions = tuple(
+        RegionReport(
+            region=result.region,
+            series=availability_over_time(list(result.samples), bucket,
+                                          horizon=horizon),
+            completed=result.completed, failed=result.failed,
+            failovers=result.failovers, remaps=result.remaps)
+        for result in results)
+    events = tuple(sorted(
+        (event for result in results for event in result.events)))
+    return FleetReport(
+        regions=regions, events=events,
+        evictions=sum(result.evictions for result in results),
+        reinstatements=sum(result.reinstatements for result in results))
+
+
+def fleet_sweep(
+    regions: t.Sequence[str],
+    pops: int = 3,
+    clients: int = 50,
+    cycles: int = 2,
+    seed: int = 0,
+    mode: str = "hybrid",
+    workload: str = "home",
+    workers: t.Optional[int] = None,
+    parallel: bool = True,
+    blackout_pop: t.Optional[str] = None,
+    blackout_at: float = 90.0,
+    blackout_downtime: float = 60.0,
+    bucket: float = REPORT_BUCKET,
+) -> t.Tuple[FleetReport, t.List[FleetRegionResult]]:
+    """Run the fleet campaign; returns ``(report, per-region results)``.
+
+    ``regions x clients`` is the concurrent-session scale: the headline
+    configuration (4 regions x 2,500 clients, ``mode="hybrid"``)
+    simulates 10,000 concurrent sessions.  Results are byte-identical
+    whether ``parallel`` is on or off.
+    """
+    points = fleet_points(regions, pops=pops, clients=clients, cycles=cycles,
+                          seed=seed, mode=mode, workload=workload,
+                          blackout_pop=blackout_pop,
+                          blackout_at=blackout_at,
+                          blackout_downtime=blackout_downtime)
+    results = run_points(points, workers=workers, parallel=parallel)
+    return aggregate_fleet(results, bucket=bucket), list(results)

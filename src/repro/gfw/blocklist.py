@@ -83,6 +83,10 @@ class BlockPolicy:
         self._keywords.add(keyword.lower())
         self._keyword_pattern = None
 
+    def unblock_keyword(self, keyword: str) -> None:
+        self._keywords.discard(keyword.lower())
+        self._keyword_pattern = None
+
     def keyword_hit(self, plaintext: str) -> t.Optional[str]:
         if not plaintext or not self._keywords:
             return None

@@ -77,7 +77,12 @@ class GreatFirewall(Middlebox):
         trace: t.Optional[TraceLog] = None,
         prober: t.Optional[ActiveProber] = None,
         classifiers: t.Optional[t.List[Classifier]] = None,
+        name: t.Optional[str] = None,
     ) -> None:
+        # Per-instance name so multi-region deployments (one firewall
+        # per border link) stay distinguishable in traces and logs.
+        if name is not None:
+            self.name = name
         self.sim = sim
         self.policy = policy
         self.config = config or GfwConfig()

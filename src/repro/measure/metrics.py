@@ -178,6 +178,85 @@ class Availability:
                 f"({self.success_rate:.0%}), worst TTR {ttr}")
 
 
+@dataclass(frozen=True)
+class AvailabilitySeries:
+    """Availability over time: fixed buckets of session outcomes.
+
+    ``attempts[i]``/``successes[i]`` cover simulated time
+    ``[i * bucket, (i+1) * bucket)``.  Buckets with no attempts report
+    a rate of ``None`` (no evidence, rather than a fake 0% or 100%).
+    """
+
+    bucket: float
+    attempts: t.Tuple[int, ...]
+    successes: t.Tuple[int, ...]
+
+    @property
+    def rates(self) -> t.Tuple[t.Optional[float], ...]:
+        return tuple(
+            (ok / n) if n else None
+            for ok, n in zip(self.successes, self.attempts))
+
+    def worst_rate(self) -> float:
+        """Lowest observed bucket rate (1.0 if nothing was observed)."""
+        observed = [rate for rate in self.rates if rate is not None]
+        return min(observed) if observed else 1.0
+
+    def __str__(self) -> str:
+        cells = ["-" if rate is None else f"{rate:.0%}"
+                 for rate in self.rates]
+        return f"bucket={self.bucket:g}s [{' '.join(cells)}]"
+
+
+def availability_over_time(
+    samples: t.Sequence[t.Tuple[float, bool]],
+    bucket: float,
+    horizon: t.Optional[float] = None,
+) -> AvailabilitySeries:
+    """Fold ``(timestamp, succeeded)`` samples into fixed time buckets.
+
+    ``horizon`` pads the series with empty buckets out to a common
+    length, so per-region series from separate simulations align when a
+    fleet report merges them.
+    """
+    if bucket <= 0:
+        raise MeasurementError(f"bucket must be positive, got {bucket}")
+    last = max((when for when, _ in samples), default=0.0)
+    if horizon is not None:
+        last = max(last, horizon)
+    count = int(last // bucket) + 1
+    attempts = [0] * count
+    successes = [0] * count
+    for when, succeeded in samples:
+        if when < 0:
+            raise MeasurementError(f"negative sample timestamp: {when}")
+        index = int(when // bucket)
+        attempts[index] += 1
+        if succeeded:
+            successes[index] += 1
+    return AvailabilitySeries(bucket=bucket, attempts=tuple(attempts),
+                              successes=tuple(successes))
+
+
+def merge_series(series: t.Sequence[AvailabilitySeries]) -> AvailabilitySeries:
+    """Sum aligned availability series (e.g. one per fleet region)."""
+    if not series:
+        raise MeasurementError("cannot merge zero availability series")
+    buckets = {s.bucket for s in series}
+    if len(buckets) != 1:
+        raise MeasurementError(f"mismatched bucket widths: {sorted(buckets)}")
+    length = max(len(s.attempts) for s in series)
+    attempts = [0] * length
+    successes = [0] * length
+    for s in series:
+        for index, (n, ok) in enumerate(zip(s.attempts, s.successes)):
+            attempts[index] += n
+            successes[index] += ok
+    return AvailabilitySeries(bucket=series[0].bucket,
+                              attempts=tuple(attempts),
+                              successes=tuple(successes))
+
+
 def availability(samples: t.Sequence[t.Tuple[float, bool]]) -> Availability:
     """Fold ``(timestamp, succeeded)`` session samples into Availability.
 

@@ -187,6 +187,19 @@ def fault_points(methods: t.Sequence[str], seeds: t.Sequence[int],
     ]
 
 
+def fleet_region_points(regions: t.Sequence[str], **kwargs: t.Any) -> t.List[SweepPoint]:
+    """The multi-region fleet grid (one hermetic sim per region).
+
+    Thin alias so the canonical-sweeps index stays in one module; the
+    grid itself lives with the fleet (:func:`repro.fleet.sweep.
+    fleet_points`), which also provides :func:`~repro.fleet.sweep.
+    fleet_sweep` to run it and fold the availability report.
+    """
+    from ..fleet.sweep import fleet_points
+
+    return fleet_points(regions, **kwargs)
+
+
 def overload_points(clients_levels: t.Sequence[int], seed: int = 0,
                     **kwargs: t.Any) -> t.List[SweepPoint]:
     """The overload sweep (extended Figure 7) as sweep points.

@@ -123,6 +123,40 @@ class TestCircuitBreaker:
         assert breaker.state == CircuitBreaker.CLOSED
 
 
+class TestHalfOpenSingleTrial:
+    def test_only_one_caller_wins_the_half_open_trial(self):
+        sim = Simulator(seed=0)
+        breaker = CircuitBreaker(sim, failure_threshold=1, reset_timeout=5.0)
+        breaker.record_failure()
+        sim.run(until=5.0)
+        assert breaker.allow()          # the single trial
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # The rest of the herd is refused while the trial is in flight.
+        assert not breaker.allow()
+        assert not breaker.allow()
+
+    def test_failed_trial_frees_the_slot_for_the_next_window(self):
+        sim = Simulator(seed=0)
+        breaker = CircuitBreaker(sim, failure_threshold=1, reset_timeout=5.0)
+        breaker.record_failure()
+        sim.run(until=5.0)
+        assert breaker.allow()
+        breaker.record_failure()        # trial lost -> back to OPEN
+        assert breaker.state == CircuitBreaker.OPEN
+        sim.run(until=10.0)
+        assert breaker.allow()          # next window gets its own trial
+
+    def test_successful_trial_admits_everyone_again(self):
+        sim = Simulator(seed=0)
+        breaker = CircuitBreaker(sim, failure_threshold=1, reset_timeout=5.0)
+        breaker.record_failure()
+        sim.run(until=5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow() and breaker.allow()
+
+
 # -- failover pool -----------------------------------------------------------------
 
 
@@ -167,6 +201,95 @@ class TestFailoverPool:
             pool.record_failure(endpoint)
             pool.record_failure(endpoint)
         assert pool.pick() is None
+
+    def test_repeated_picks_of_the_same_endpoint_are_not_failovers(self):
+        pool = _pool(Simulator(seed=0))
+        for _ in range(5):
+            assert pool.pick() is pool.primary
+        assert pool.failovers == 0
+
+    def test_failovers_count_endpoint_changes_not_picks(self):
+        sim = Simulator(seed=0)
+        pool = _pool(sim)
+        pool.record_failure(pool.primary)
+        pool.record_failure(pool.primary)
+        # Several dials ride on the replica; that is ONE failover.
+        for _ in range(4):
+            assert pool.pick() is pool.endpoints[1]
+        assert pool.failovers == 1
+        # Fail-back to the recovered primary is the second change.
+        sim.run(until=20.0)
+        assert pool.pick() is pool.primary
+        assert pool.failovers == 2
+
+    def test_endpoint_label_is_not_identity(self):
+        bare = Endpoint(IPv4Address("10.0.0.1"), 9000)
+        labelled = Endpoint(IPv4Address("10.0.0.1"), 9000, "remote-1")
+        assert bare == labelled
+        assert hash(bare) == hash(labelled)
+        pool = _pool(Simulator(seed=0))
+        # A router handing back its own labelled copy must hit the
+        # pool's breaker for the same (address, port).
+        pool.record_success(bare)
+        assert pool.breakers[labelled].state == CircuitBreaker.CLOSED
+
+
+# -- staggered health checks -------------------------------------------------------
+
+
+class TestStaggeredHealthChecks:
+    @staticmethod
+    def _world(seed):
+        testbed = Testbed(seed=seed)
+        transport = testbed.transport_of(testbed.client)
+        # Dead endpoints: nothing listens there, so every probe fails
+        # and each breaker opens on its own staggered schedule.
+        endpoints = [Endpoint(IPv4Address(f"203.0.113.{i + 1}"), 9999,
+                              f"dead-{i + 1}") for i in range(2)]
+        pool = FailoverPool(testbed.sim, endpoints, failure_threshold=2,
+                            reset_timeout=500.0)
+        pool.start_health_checks(transport, interval=15.0, timeout=2.0)
+        return testbed, pool
+
+    def _open_times(self, seed):
+        testbed, pool = self._world(seed)
+        testbed.sim.run(until=80.0)
+        times = {}
+        for endpoint, breaker in pool.breakers.items():
+            opened = [at for at, _old, new in breaker.transitions
+                      if new == CircuitBreaker.OPEN]
+            assert opened, f"{endpoint} never opened"
+            times[str(endpoint)] = opened[0]
+        return times
+
+    def test_probe_phases_are_staggered(self):
+        times = self._open_times(seed=0)
+        assert len(set(times.values())) == len(times)
+
+    def test_stagger_is_seed_deterministic(self):
+        assert self._open_times(seed=7) == self._open_times(seed=7)
+
+    def test_offsets_come_from_the_registered_stream(self):
+        # Passing the registered stream explicitly must reproduce the
+        # default behaviour exactly — proof the default draws from
+        # ``failover.health`` and nowhere else.
+        default_times = self._open_times(seed=9)
+
+        testbed = Testbed(seed=9)
+        transport = testbed.transport_of(testbed.client)
+        endpoints = [Endpoint(IPv4Address(f"203.0.113.{i + 1}"), 9999,
+                              f"dead-{i + 1}") for i in range(2)]
+        pool = FailoverPool(testbed.sim, endpoints, failure_threshold=2,
+                            reset_timeout=500.0)
+        pool.start_health_checks(
+            transport, interval=15.0, timeout=2.0,
+            rng=testbed.sim.rng.stream("failover.health"))
+        testbed.sim.run(until=80.0)
+        explicit_times = {
+            str(endpoint): [at for at, _old, new in breaker.transitions
+                            if new == CircuitBreaker.OPEN][0]
+            for endpoint, breaker in pool.breakers.items()}
+        assert explicit_times == default_times
 
 
 # -- fault schedule validation -----------------------------------------------------
