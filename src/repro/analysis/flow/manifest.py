@@ -26,6 +26,9 @@ STREAM_MANIFEST: t.Dict[str, t.Tuple[str, ...]] = {
     "failover.health": ("repro.faults",),
     "fleet.detector": ("repro.fleet",),
     "fleet.offsets": ("repro.fleet",),
+    "survival.hedge": ("repro.fleet",),
+    "survival.retry": ("repro.fleet",),
+    "survival.offsets": ("repro.fleet",),
 }
 
 #: Dynamic (f-string) stream name prefixes -> allowed module prefixes.

@@ -63,11 +63,18 @@ class DomesticProxy:
         retry: t.Optional[RetryPolicy] = None,
         overload: t.Optional[OverloadConfig] = None,
         router: t.Optional[t.Any] = None,
+        hedge: t.Optional[t.Any] = None,
     ) -> None:
         """``router`` (a :class:`~repro.fleet.router.SessionRouter`)
         layers sticky fleet-wide session->PoP assignment over the
         failover pool: the router proposes which endpoint a session
-        should dial, the pool's per-endpoint breakers still veto."""
+        should dial, the pool's per-endpoint breakers still veto.
+
+        ``hedge`` (a :class:`~repro.fleet.survival.HedgedDialer`, duck-
+        typed so core stays fleet-agnostic) races the transpacific dial
+        against a second CLOSED-breaker endpoint once the primary runs
+        past the p95 dial-latency estimate.  None (the default) keeps
+        the historical single-dial behaviour byte-identical."""
         if whitelist is None or agility is None or cpu is None:
             raise TypeError(
                 "DomesticProxy requires whitelist, agility, and cpu")
@@ -94,6 +101,7 @@ class DomesticProxy:
             attempts=4, base=0.5, cap=4.0,
             rng=sim.rng.stream("resilience.sc-domestic"))
         self.router = router
+        self.hedge = hedge
         self.streams_served = 0
         self.refused = 0
         self.dials_failed = 0
@@ -252,6 +260,37 @@ class DomesticProxy:
         breaker = self.pool.breakers.get(endpoint)
         return True if breaker is None else breaker.allow()
 
+    def _hedge_secondary(self, primary: Endpoint) -> t.Optional[Endpoint]:
+        """A distinct endpoint safe to race against ``primary``.
+
+        Only fully-CLOSED breakers qualify: merely *peeking* at a
+        half-open breaker via ``allow()`` would consume its single
+        trial on a dial that may never launch.
+        """
+        for endpoint in self.pool.endpoints:
+            if endpoint == primary:
+                continue
+            breaker = self.pool.breakers.get(endpoint)
+            if breaker is not None and breaker.state == breaker.CLOSED:
+                return endpoint
+        return None
+
+    def _note_dialed(self, endpoint: Endpoint,
+                     session_key: t.Optional[str]) -> None:
+        """Post-dial bookkeeping shared by the plain and hedged paths."""
+        if self.router is not None and session_key is not None:
+            # Routed: a switch is a *session* landing somewhere other
+            # than its sticky binding (different sessions hashing to
+            # different PoPs is spread, not churn).
+            previous = self.router.last_endpoint(session_key)
+            if previous is not None and previous != endpoint:
+                self.endpoint_switches += 1
+            self.router.bind(session_key, endpoint)
+        elif (self._last_endpoint is not None
+                and endpoint != self._last_endpoint):
+            self.endpoint_switches += 1
+        self._last_endpoint = endpoint
+
     def _dial_remote(self, deadline: t.Optional[Deadline] = None,
                      session_key: t.Optional[str] = None):
         """Open a blinded connection to a healthy remote proxy.
@@ -280,6 +319,34 @@ class DomesticProxy:
             if deadline is not None:
                 dialed_timeout = deadline.clamp(self.dial_timeout,
                                                 self.sim.now)
+            secondary = (self._hedge_secondary(endpoint)
+                         if self.hedge is not None else None)
+            if secondary is not None:
+                features = self.agility.codec.features()
+
+                def make_attempt(target: Endpoint, timeout: float):
+                    def attempt():
+                        conn = yield transport.connect_tcp(
+                            target.address, target.port,
+                            features=features, timeout=timeout)
+                        return conn
+                    return attempt
+
+                def on_result(target: Endpoint, succeeded: bool) -> None:
+                    if succeeded:
+                        self.pool.record_success(target)
+                    else:
+                        self.pool.record_failure(target)
+
+                try:
+                    conn, winner = yield from self.hedge.dial(
+                        [(endpoint, make_attempt(endpoint, dialed_timeout)),
+                         (secondary, make_attempt(secondary, dialed_timeout))],
+                        on_result=on_result)
+                except TransportError:
+                    continue
+                self._note_dialed(winner, session_key)
+                return conn
             try:
                 conn = yield transport.connect_tcp(
                     endpoint.address, endpoint.port,
@@ -289,18 +356,7 @@ class DomesticProxy:
                 self.pool.record_failure(endpoint)
                 continue
             self.pool.record_success(endpoint)
-            if self.router is not None and session_key is not None:
-                # Routed: a switch is a *session* landing somewhere other
-                # than its sticky binding (different sessions hashing to
-                # different PoPs is spread, not churn).
-                previous = self.router.last_endpoint(session_key)
-                if previous is not None and previous != endpoint:
-                    self.endpoint_switches += 1
-                self.router.bind(session_key, endpoint)
-            elif (self._last_endpoint is not None
-                    and endpoint != self._last_endpoint):
-                self.endpoint_switches += 1
-            self._last_endpoint = endpoint
+            self._note_dialed(endpoint, session_key)
             return conn
         self.dials_failed += 1
         return None

@@ -69,8 +69,8 @@ class ScConnector(Connector):
             if delay > 0.0:
                 yield sim.timeout(delay)
             try:
-                return (yield from self._open_once(hostname, port, use_tls,
-                                                   deadline))
+                return (yield from self.open_once(hostname, port, use_tls,
+                                                  deadline))
             except OverloadError:
                 self.sheds_seen += 1
                 raise
@@ -80,8 +80,14 @@ class ScConnector(Connector):
             f"ScholarCloud: {hostname} unreachable after "
             f"{self.retry.attempts} attempts: {last_error}")
 
-    def _open_once(self, hostname: str, port: int, use_tls: bool,
-                   deadline: t.Optional[Deadline] = None):
+    def open_once(self, hostname: str, port: int, use_tls: bool,
+                  deadline: t.Optional[Deadline] = None):
+        """Generator: a single dial attempt (no retry loop).
+
+        Public so callers that manage their own retry/hedging — the
+        survival layer races two of these against the p95 dial-latency
+        estimate — can compose attempts without double-retrying.
+        """
         testbed = self.system.testbed
         transport = testbed.transport_of(self.host)
         sim = testbed.sim

@@ -25,6 +25,7 @@ from ..net import IPv4Address
 from ..sim import Simulator
 
 if t.TYPE_CHECKING:  # pragma: no cover
+    from ..overload import Deadline
     from ..transport import TransportLayer
 
 
@@ -113,6 +114,25 @@ class RetryPolicy:
                 delay *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
             yield delay
 
+    def scaled(self, factor: float) -> "RetryPolicy":
+        """A copy with attempts and budget scaled by observed health.
+
+        ``factor`` is in (0, 1]: 1.0 returns an equivalent policy, and
+        lower health shrinks both the attempt count and the time budget
+        proportionally — the adaptive-budget half of hedged dialing,
+        where retries against a degraded region must never amplify its
+        outage into a fleet-wide storm.  The rng stream is *shared*
+        with the parent so jitter draws stay on one per-seed trace.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"scale factor must be in (0, 1], got {factor}")
+        budget = (None if self.budget is None
+                  else max(self.base, self.budget * factor))
+        return RetryPolicy(
+            attempts=max(1, int(round(self.attempts * factor))),
+            base=self.base, multiplier=self.multiplier, cap=self.cap,
+            jitter=self.jitter, rng=self.rng, budget=budget)
+
 
 class CircuitBreaker:
     """Per-endpoint breaker: CLOSED -> OPEN -> HALF_OPEN -> CLOSED.
@@ -199,11 +219,17 @@ class FailoverPool:
 
     def __init__(self, sim: Simulator, endpoints: t.Sequence[Endpoint],
                  failure_threshold: int = 3,
-                 reset_timeout: float = 30.0) -> None:
+                 reset_timeout: float = 30.0,
+                 probe_timeout: float = 3.0) -> None:
         if not endpoints:
             raise ValueError("failover pool needs at least one endpoint")
+        if probe_timeout <= 0:
+            raise ValueError(f"probe timeout must be positive, got {probe_timeout}")
         self.sim = sim
         self.endpoints = list(endpoints)
+        #: Default dial timeout for health probes (:meth:`probe` and
+        #: :meth:`start_health_checks`); a caller's Deadline clamps it.
+        self.probe_timeout = probe_timeout
         self.breakers: t.Dict[Endpoint, CircuitBreaker] = {
             endpoint: CircuitBreaker(
                 sim, failure_threshold=failure_threshold,
@@ -241,9 +267,40 @@ class FailoverPool:
 
     # -- health checks ---------------------------------------------------------
 
+    def probe(self, transport: "TransportLayer", endpoint: Endpoint,
+              deadline: t.Optional["Deadline"] = None, features=None):
+        """Generator: one health-probe dial of ``endpoint``, True if up.
+
+        The probe's verdict lands on the endpoint's breaker either way.
+        With a ``deadline`` (the session the probe gates), the dial
+        timeout is clamped to the deadline's remaining budget — a probe
+        must never outlive the work it gates — and an already-expired
+        deadline fails the probe without dialing at all.
+        """
+        breaker = self.breakers.get(endpoint)
+        if breaker is None:
+            raise ValueError(f"{endpoint} is not a pool member")
+        dial_timeout = self.probe_timeout
+        if deadline is not None:
+            if deadline.expired(self.sim.now):
+                return False
+            dial_timeout = deadline.clamp(self.probe_timeout, self.sim.now)
+        self.probes_sent += 1
+        try:
+            conn = yield transport.connect_tcp(
+                endpoint.address, endpoint.port,
+                features=features, timeout=dial_timeout)
+        except TransportError:
+            breaker.record_failure()
+            return False
+        breaker.record_success()
+        conn.close()
+        return True
+
     def start_health_checks(self, transport: "TransportLayer",
                             interval: float = 15.0, timeout: float = 3.0,
-                            features=None, rng=None):
+                            features=None, rng=None,
+                            deadline: t.Optional["Deadline"] = None):
         """Start one staggered probe process per endpoint.
 
         Each endpoint gets its own phase offset in ``[0, interval)``
@@ -252,6 +309,8 @@ class FailoverPool:
         being probed in the same tick of one fixed-interval timer —
         which would synchronize probe bursts across the pool exactly
         when a shared outage makes every breaker half-open at once.
+        With a ``deadline``, each probe dial is clamped to the
+        deadline's remaining budget and the loops end once it expires.
         Returns the list of probe processes, in endpoint order.
         """
         if rng is None:
@@ -261,24 +320,29 @@ class FailoverPool:
             offset = rng.uniform(0.0, interval)
             processes.append(self.sim.process(
                 self._health_loop(endpoint, transport, offset, interval,
-                                  timeout, features),
+                                  timeout, features, deadline),
                 name=f"failover-health:{endpoint}"))
         return processes
 
     def _health_loop(self, endpoint: Endpoint, transport: "TransportLayer",
                      offset: float, interval: float, timeout: float,
-                     features):
+                     features, deadline: t.Optional["Deadline"] = None):
         breaker = self.breakers[endpoint]
         yield self.sim.timeout(offset)
         while True:
             yield self.sim.timeout(interval)
+            if deadline is not None and deadline.expired(self.sim.now):
+                return  # the work these probes gate is already over
             if not breaker.allow():
                 continue  # open and inside its reset window
+            dial_timeout = timeout
+            if deadline is not None:
+                dial_timeout = deadline.clamp(timeout, self.sim.now)
             self.probes_sent += 1
             try:
                 conn = yield transport.connect_tcp(
                     endpoint.address, endpoint.port,
-                    features=features, timeout=timeout)
+                    features=features, timeout=dial_timeout)
             except TransportError:
                 breaker.record_failure()
                 continue

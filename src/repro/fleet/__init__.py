@@ -20,6 +20,17 @@ from .regions import (
 )
 from .report import FleetReport, RegionReport
 from .router import ACTIVE, DOWN, DRAINED, DRAINING, FailureDetector, SessionRouter
+from .survival import (
+    HedgedDialer,
+    DialLatencyTracker,
+    ResumeToken,
+    SurvivalCampaignResult,
+    SurvivalCoordinator,
+    SurvivalEvent,
+    SurvivalSession,
+    run_survival_campaign,
+    survival_document,
+)
 from .sweep import (
     FleetRegionResult,
     aggregate_fleet,
@@ -28,6 +39,7 @@ from .sweep import (
     run_fleet_region_point,
 )
 from .testbed import FleetTestbed, Region
+from .verifier import InvariantResult, SurvivalVerifier, VerifierReport
 
 __all__ = [
     "ACTIVE",
@@ -35,18 +47,28 @@ __all__ = [
     "DOWN",
     "DRAINED",
     "DRAINING",
+    "DialLatencyTracker",
     "FailureDetector",
     "FleetInjector",
     "FleetRegionResult",
     "FleetReport",
     "FleetSchedule",
     "FleetTestbed",
+    "HedgedDialer",
+    "InvariantResult",
     "ProxyFleet",
     "Region",
     "RegionEntrypoint",
     "RegionReport",
     "RegionSpec",
+    "ResumeToken",
     "SessionRouter",
+    "SurvivalCampaignResult",
+    "SurvivalCoordinator",
+    "SurvivalEvent",
+    "SurvivalSession",
+    "SurvivalVerifier",
+    "VerifierReport",
     "aggregate_fleet",
     "default_fleet_regions",
     "fleet_points",
@@ -55,4 +77,6 @@ __all__ = [
     "region_gfw_config",
     "region_policy",
     "run_fleet_region_point",
+    "run_survival_campaign",
+    "survival_document",
 ]

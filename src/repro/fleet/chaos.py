@@ -69,6 +69,22 @@ class FleetSchedule(FaultSchedule):
              "interference_scale": interference_scale,
              "penalty_seconds": penalty_seconds}))
 
+    def region_blackout(self, region: str, at: float,
+                        downtime: float) -> FaultEvent:
+        """Take a whole region dark: its border link goes down outright.
+
+        The Turkmenistan-style escalation endgame (Nourin et al.): every
+        transpacific flow from the region is severed — its domestic
+        proxy can still be reached from inside, but can no longer dial
+        any PoP.  Sessions survive only by migrating to another region
+        (which needs the testbed's ``domestic_backbone``).
+        """
+        if downtime <= 0:
+            raise FaultError("region_blackout needs a positive downtime "
+                             "(a region that never returns is a secession)")
+        return self.add(FaultEvent(at, "region-blackout",
+                                   f"border-{region}", downtime))
+
     def route_flap(self, region: str, at: float, flaps: int,
                    period: float, down_fraction: float = 0.5) -> t.List[FaultEvent]:
         """``flaps`` short outages of the region's border link.
@@ -157,3 +173,9 @@ class FleetInjector(FaultInjector):
         def revert() -> None:
             link.set_up(True)
         return revert
+
+    def _apply_region_blackout(self, event: FaultEvent):
+        # Same mechanism as one flap — a hard border outage — but held
+        # for the whole downtime, which is what forces migration rather
+        # than ride-it-out retries.
+        return self._apply_route_flap(event)

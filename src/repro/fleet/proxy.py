@@ -30,7 +30,7 @@ from ..core import (
 )
 from ..dns import StubResolver
 from ..errors import MeasurementError
-from ..faults import Endpoint
+from ..faults import Endpoint, RetryPolicy
 from ..net import IPv4Address
 from ..overload import OverloadConfig
 from .router import FailureDetector, SessionRouter
@@ -65,7 +65,17 @@ class ProxyFleet:
         detector_interval: float = 10.0,
         detector_timeout: float = 3.0,
         suspicion_threshold: int = 2,
+        reinstate_threshold: int = 2,
+        routing: str = "rendezvous",
+        hedged: bool = False,
     ) -> None:
+        """``routing`` selects the session router's policy
+        (``"rendezvous"`` or ``"least_loaded"``); ``reinstate_threshold``
+        is the failure detector's reinstatement hysteresis; ``hedged``
+        gives every regional domestic proxy a
+        :class:`~repro.fleet.survival.HedgedDialer` so slow transpacific
+        dials race a second CLOSED-breaker endpoint (off by default:
+        historical traces stay byte-identical)."""
         self.testbed = testbed
         self.whitelist = whitelist if whitelist is not None else scholar_whitelist()
         self.agility = BlindingAgility(secret)
@@ -73,6 +83,9 @@ class ProxyFleet:
         self.detector_interval = detector_interval
         self.detector_timeout = detector_timeout
         self.suspicion_threshold = suspicion_threshold
+        self.reinstate_threshold = reinstate_threshold
+        self.routing = routing
+        self.hedged = hedged
         self.remotes: t.List[RemoteProxy] = []
         self.domestics: t.Dict[str, DomesticProxy] = {}
         self.router: t.Optional[SessionRouter] = None
@@ -97,33 +110,49 @@ class ProxyFleet:
                 Endpoint(IPv4Address(pop.address), REMOTE_PROXY_PORT,
                          name=pop.name)
                 for pop in testbed.pops]
-            self.router = SessionRouter(sim, self.endpoints)
+            self.router = SessionRouter(sim, self.endpoints,
+                                        policy=self.routing)
             self.detector = FailureDetector(
                 sim, self.router, testbed.transport_of(testbed.control),
                 interval=self.detector_interval,
                 timeout=self.detector_timeout,
-                suspicion_threshold=self.suspicion_threshold)
+                suspicion_threshold=self.suspicion_threshold,
+                reinstate_threshold=self.reinstate_threshold)
             self.detector.start()
+            hedge = None
+            if self.hedged:
+                # Local import: survival builds on this module, so the
+                # dialer is resolved lazily to keep the layering acyclic.
+                from .survival import HedgedDialer
+                hedge = HedgedDialer(sim)
             for region in testbed.regions:
                 self.domestics[region.name] = DomesticProxy(
                     sim, region.domestic_vm,
                     remote_addrs=[str(e.address) for e in self.endpoints],
                     whitelist=self.whitelist, agility=self.agility,
                     cpu=region.domestic_cpu, overload=self.overload,
-                    router=self.router)
+                    router=self.router, hedge=hedge)
             self.launched = True
         return
         yield  # pragma: no cover - launch is currently synchronous
 
     # -- browser integration ----------------------------------------------------
 
-    def connector(self, region: str, host=None) -> ScConnector:
-        """A browser connector dialing ``region``'s domestic proxy."""
+    def connector(self, region: str, host=None,
+                  retry: t.Optional[RetryPolicy] = None) -> ScConnector:
+        """A browser connector dialing ``region``'s domestic proxy.
+
+        ``retry`` overrides the connector's default dial retry policy —
+        survival sessions pass ``attempts=1`` so their own health-scaled
+        retry/hedging loop is the only one running.
+        """
         if not self.launched:
             raise MeasurementError("ProxyFleet is not launched; run launch()")
         region_obj = self.testbed.region(region)
-        return ScConnector(RegionEntrypoint(self.testbed, region_obj),
-                           host=host if host is not None else region_obj.client)
+        return ScConnector(
+            RegionEntrypoint(self.testbed, region_obj),
+            host=host if host is not None else region_obj.client,
+            retry=retry)
 
     # -- control plane ----------------------------------------------------------
 

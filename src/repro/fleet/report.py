@@ -49,6 +49,9 @@ class FleetReport:
     events: t.Tuple[t.Tuple[float, str, str], ...] = ()
     evictions: int = 0
     reinstatements: int = 0
+    #: Survival-layer counters (zero for campaigns without migration).
+    migrations: int = 0
+    sessions_lost: int = 0
 
     @property
     def overall(self) -> AvailabilitySeries:
@@ -102,6 +105,10 @@ class FleetReport:
             f"recovered={self.recovered()} "
             f"failovers={self.total_failovers} remaps={self.total_remaps} "
             f"evictions={self.evictions} reinstatements={self.reinstatements}")
+        if self.migrations or self.sessions_lost:
+            lines.append(
+                f"  survival: migrations={self.migrations} "
+                f"sessions_lost={self.sessions_lost}")
         lines.append(f"  {self.overall}")
         if self.events:
             lines.append("")

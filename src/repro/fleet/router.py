@@ -14,10 +14,20 @@ Two pieces:
 
 * :class:`FailureDetector` — a deterministic probe loop per pop:
   consecutive dial failures past a suspicion threshold evict the pop
-  from the membership; the first successful probe afterwards reinstates
-  it.  Probe phases are staggered per-endpoint from the
-  ``fleet.detector`` rng stream so a fleet-wide outage does not
-  synchronize every probe into the same tick.
+  from the membership; ``reinstate_threshold`` consecutive successful
+  probes afterwards reinstate it.  Reinstatement hysteresis matters
+  under flapping faults (``route_flap`` chaos): with a single healthy
+  probe sufficing, every flap cycle would oscillate the membership —
+  evict, reinstate, evict — churning sessions on each swing.  Probe
+  phases are staggered per-endpoint from the ``fleet.detector`` rng
+  stream so a fleet-wide outage does not synchronize every probe into
+  the same tick.
+
+Routing policy is selectable: the default ``"rendezvous"`` is pure
+sticky HRW; ``"least_loaded"`` assigns each *new* session to the ACTIVE
+endpoint with the fewest live streams, breaking ties by the pair's HRW
+weight so the assignment stays a deterministic function of (key,
+membership, load) — no iteration-order or clock dependence.
 
 Explicit control-plane verbs — :meth:`SessionRouter.drain` /
 :meth:`SessionRouter.deploy` — cover graceful maintenance: a draining
@@ -43,16 +53,24 @@ DRAINING = "draining"
 DRAINED = "drained"
 DOWN = "down"
 
+#: Selectable routing policies.
+POLICIES = ("rendezvous", "least_loaded")
+
 
 class SessionRouter:
-    """Rendezvous-hashed sticky session -> PoP assignment."""
+    """Sticky session -> PoP assignment (rendezvous or least-loaded)."""
 
     def __init__(self, sim: Simulator, endpoints: t.Sequence[Endpoint],
-                 name: str = "fleet-router") -> None:
+                 name: str = "fleet-router",
+                 policy: str = "rendezvous") -> None:
         if not endpoints:
             raise FaultError("session router needs at least one endpoint")
+        if policy not in POLICIES:
+            raise FaultError(
+                f"unknown routing policy {policy!r}; have {POLICIES}")
         self.sim = sim
         self.name = name
+        self.policy = policy
         self.endpoints: t.List[Endpoint] = list(endpoints)
         self.status: t.Dict[Endpoint, str] = {
             endpoint: ACTIVE for endpoint in self.endpoints}
@@ -92,6 +110,21 @@ class SessionRouter:
                       key=lambda endpoint: self.weight(key, endpoint),
                       reverse=True)
 
+    def _candidates(self, key: str) -> t.List[Endpoint]:
+        """Endpoints in this policy's preference order for ``key``.
+
+        ``least_loaded`` prefers the fewest live streams; the HRW
+        weight is the deterministic tie-break (equal loads fall back to
+        exactly the rendezvous preference), so the order never depends
+        on dict iteration or insertion history.
+        """
+        if self.policy == "least_loaded":
+            return sorted(
+                self.endpoints,
+                key=lambda endpoint: (self.live_sessions_on(endpoint),
+                                      -self.weight(key, endpoint)))
+        return self.rank(key)
+
     # -- routing -----------------------------------------------------------------
 
     def route(self, key: str,
@@ -102,7 +135,7 @@ class SessionRouter:
         Sticky first: an existing binding is honoured while its pop is
         ACTIVE or DRAINING (draining pops keep their established
         sessions — that is the whole point of draining) and passes
-        ``allow``.  Otherwise the highest-weighted ACTIVE endpoint that
+        ``allow``.  Otherwise the policy's best ACTIVE endpoint that
         passes ``allow`` wins.  ``allow`` is only consulted until the
         first acceptance, so a circuit breaker's single half-open trial
         is never burned ranking endpoints the caller won't dial.
@@ -111,7 +144,7 @@ class SessionRouter:
         if bound is not None and self.status.get(bound) in (ACTIVE, DRAINING):
             if allow is None or allow(bound):
                 return bound
-        for endpoint in self.rank(key):
+        for endpoint in self._candidates(key):
             if self.status.get(endpoint) != ACTIVE:
                 continue
             if allow is None or allow(endpoint):
@@ -245,19 +278,29 @@ class FailureDetector:
         interval: float = 10.0,
         timeout: float = 3.0,
         suspicion_threshold: int = 2,
+        reinstate_threshold: int = 2,
         rng: t.Optional[t.Any] = None,
     ) -> None:
         if suspicion_threshold < 1:
             raise FaultError(
                 f"suspicion threshold must be >= 1, got {suspicion_threshold}")
+        if reinstate_threshold < 1:
+            raise FaultError(
+                f"reinstate threshold must be >= 1, got {reinstate_threshold}")
         self.sim = sim
         self.router = router
         self.transport = transport
         self.interval = interval
         self.timeout = timeout
         self.suspicion_threshold = suspicion_threshold
+        #: Reinstatement hysteresis: a DOWN pop must answer this many
+        #: *consecutive* probes before it rejoins.  One flap-period of
+        #: alternating ok/fail verdicts therefore never re-admits a pop
+        #: the next flap would evict again.
+        self.reinstate_threshold = reinstate_threshold
         self.rng = rng if rng is not None else sim.rng.stream("fleet.detector")
         self.suspicion: t.Dict[Endpoint, int] = {}
+        self.healthy_streak: t.Dict[Endpoint, int] = {}
         self.probes_sent = 0
         #: (time, endpoint, verdict) — every probe outcome, in order.
         self.log: t.List[t.Tuple[float, str, str]] = []
@@ -298,6 +341,7 @@ class FailureDetector:
     def _on_failure(self, endpoint: Endpoint) -> None:
         count = self.suspicion.get(endpoint, 0) + 1
         self.suspicion[endpoint] = count
+        self.healthy_streak[endpoint] = 0
         self.log.append((self.sim.now, str(endpoint), "fail"))
         if (count >= self.suspicion_threshold
                 and self.router.status.get(endpoint) in (ACTIVE, DRAINING)):
@@ -305,6 +349,9 @@ class FailureDetector:
 
     def _on_success(self, endpoint: Endpoint) -> None:
         self.suspicion[endpoint] = 0
+        streak = self.healthy_streak.get(endpoint, 0) + 1
+        self.healthy_streak[endpoint] = streak
         self.log.append((self.sim.now, str(endpoint), "ok"))
-        if self.router.status.get(endpoint) == DOWN:
+        if (streak >= self.reinstate_threshold
+                and self.router.status.get(endpoint) == DOWN):
             self.router.reinstate(endpoint)

@@ -80,7 +80,16 @@ class FleetTestbed:
         clients_per_region: int = 0,
         fluid: t.Optional[t.Any] = None,
         gfw_enabled: bool = True,
+        domestic_backbone: bool = False,
     ) -> None:
+        """``domestic_backbone`` (default off) links every region's
+        campus router through a shared ``cn-backbone`` router — inland
+        inter-province paths that never cross a border firewall.  It is
+        what lets a client in an escalated/blacked-out region re-enter
+        the service through another region's domestic proxy (survival
+        migration).  Opt-in because extra links change the
+        latency-weighted route tables globally: single-purpose fleets
+        keep their historical byte-identical traces."""
         if pops < 1:
             raise MeasurementError(f"fleet needs at least one PoP, got {pops}")
         specs = tuple(regions) if regions is not None else default_fleet_regions()
@@ -133,6 +142,15 @@ class FleetTestbed:
         for index, spec in enumerate(specs):
             self.regions.append(self._build_region(index, spec, gfw_enabled,
                                                    clients_per_region))
+
+        # -- optional domestic backbone (no firewall on inland links) ----------
+        self.backbone = None
+        if domestic_backbone and len(self.regions) > 1:
+            self.backbone = net.add_router("cn-backbone", address="59.250.0.1")
+            for region in self.regions:
+                net.connect(region.campus, self.backbone, latency=ms(12),
+                            bandwidth=Mbps(1000), loss=0.0002,
+                            name=f"backbone-{region.name}")
 
         net.build_routes()
 

@@ -139,6 +139,79 @@ class OverloadReport:
                 f"qdelay p95={self.queue_delay(0.95):.3f}s")
 
 
+#: Region-health component weights.  Breaker state dominates: an open
+#: breaker means live dials are failing *now*, while shed and
+#: interference rates are leading indicators of pressure.  A full
+#: blackout (every breaker open) lands the score at 0.40 — firmly below
+#: the 0.5 degradation threshold even with zero shed/interference.
+HEALTH_WEIGHT_SHED = 0.25
+HEALTH_WEIGHT_INTERFERENCE = 0.15
+HEALTH_WEIGHT_BREAKERS = 0.60
+#: A region scoring below this is degraded (survival migrates away).
+HEALTH_DEGRADED_BELOW = 0.5
+
+
+@dataclass(frozen=True)
+class RegionHealth:
+    """One region's composite health sample.
+
+    Three normalized pressure signals — admission shed rate, firewall
+    interference rate, and the fraction of transpacific circuit
+    breakers currently open — fold into a single ``score`` in [0, 1]
+    (1.0 = fully healthy).  The survival layer samples this per region
+    to decide when a whole region is degraded enough to drain.
+    """
+
+    region: str
+    shed_rate: float
+    interference_rate: float
+    breaker_open_fraction: float
+
+    @property
+    def score(self) -> float:
+        penalty = (HEALTH_WEIGHT_SHED * self.shed_rate
+                   + HEALTH_WEIGHT_INTERFERENCE * self.interference_rate
+                   + HEALTH_WEIGHT_BREAKERS * self.breaker_open_fraction)
+        return max(0.0, 1.0 - min(1.0, penalty))
+
+    def degraded(self, threshold: float = HEALTH_DEGRADED_BELOW) -> bool:
+        return self.score < threshold
+
+    def __str__(self) -> str:
+        return (f"{self.region}: score={self.score:.2f} "
+                f"(shed={self.shed_rate:.0%} "
+                f"interference={self.interference_rate:.0%} "
+                f"breakers={self.breaker_open_fraction:.0%})")
+
+
+def region_health(
+    region: str,
+    shed: int = 0,
+    offered: int = 0,
+    interference_drops: int = 0,
+    packets_seen: int = 0,
+    breakers_open: int = 0,
+    breakers_total: int = 0,
+) -> RegionHealth:
+    """Fold raw counters (usually interval deltas) into a health sample.
+
+    Zero-denominator inputs read as "no evidence of trouble": a region
+    that offered nothing shed nothing.
+    """
+    if min(shed, offered, interference_drops, packets_seen,
+           breakers_open, breakers_total) < 0:
+        raise MeasurementError("negative region-health counters")
+    interference = (min(1.0, interference_drops / packets_seen)
+                    if packets_seen else 0.0)
+    breakers = (min(1.0, breakers_open / breakers_total)
+                if breakers_total else 0.0)
+    return RegionHealth(
+        region=region,
+        shed_rate=shed_rate(shed, offered),
+        interference_rate=interference,
+        breaker_open_fraction=breakers)
+
+
 def loss_rate(dropped: int, sent: int) -> float:
     """Packet loss rate in [0,1]; zero traffic counts as zero loss."""
     if sent < 0 or dropped < 0:

@@ -10,12 +10,13 @@ and the failure detector's evict/reinstate trace is seed-deterministic.
 import pytest
 
 from repro.errors import FaultError, MeasurementError
-from repro.faults import Endpoint
+from repro.faults import Endpoint, FailoverPool
 from repro.fleet import (
     ACTIVE,
     DOWN,
     DRAINED,
     DRAINING,
+    FailureDetector,
     FleetSchedule,
     FleetTestbed,
     ProxyFleet,
@@ -30,6 +31,7 @@ from repro.fleet import (
 from repro.http import Browser
 from repro.measure import availability_over_time, merge_series
 from repro.net import IPv4Address
+from repro.overload import Deadline
 from repro.sim import Simulator
 
 
@@ -291,6 +293,151 @@ class TestFailureDetector:
         assert fleet.detector.probes_sent > 0
         assert all(verdict == "ok"
                    for _, _, verdict in fleet.detector.log)
+
+
+# -- least-loaded routing policy ---------------------------------------------------
+
+
+def _least_loaded(count=3, seed=0):
+    return SessionRouter(Simulator(seed=seed), _endpoints(count),
+                         policy="least_loaded")
+
+
+class TestLeastLoadedPolicy:
+    def test_unknown_policy_raises(self):
+        with pytest.raises(FaultError):
+            SessionRouter(Simulator(seed=0), _endpoints(2), policy="roulette")
+
+    def test_zero_load_ties_break_to_rendezvous(self):
+        # With no live sessions anywhere, every load is equal and the
+        # HRW weight decides — least_loaded degrades to exactly the
+        # rendezvous assignment, not to dict order.
+        balanced, hrw = _least_loaded(), _router()
+        for key in _keys(10):
+            assert balanced.route(key) == hrw.route(key)
+
+    def test_new_sessions_balance_the_load(self):
+        router = _least_loaded()
+        for key in _keys(12):
+            router.bind(key, router.route(key))
+        loads = [router.live_sessions_on(endpoint)
+                 for endpoint in router.endpoints]
+        assert loads == [4, 4, 4]
+
+    def test_bound_sessions_stay_sticky_under_load_shifts(self):
+        router = _least_loaded()
+        keys = _keys(6)
+        for key in keys:
+            router.bind(key, router.route(key))
+        bound = router.binding(keys[0])
+        # Freeing everyone else makes other pops emptier, but an
+        # established session never migrates for balance alone.
+        for key in keys[1:]:
+            router.release(key)
+        assert router.route(keys[0]) == bound
+
+    def test_assignment_is_pinned(self):
+        # The exact map is part of the contract: a pure function of
+        # (key, membership, load), identical on every machine and run.
+        router = _least_loaded()
+        for key in _keys(6):
+            router.bind(key, router.route(key))
+        assert router.assignment() == {
+            "59.66.10.11": "pop-1",
+            "59.66.10.12": "pop-2",
+            "59.66.10.13": "pop-3",
+            "59.66.10.14": "pop-1",
+            "59.66.10.15": "pop-2",
+            "59.66.10.16": "pop-3",
+        }
+
+
+# -- reinstatement hysteresis ------------------------------------------------------
+
+
+class TestReinstatementHysteresis:
+    def test_flapping_probes_never_reinstate(self):
+        # One healthy probe between failures must not re-admit a pop a
+        # route flap is about to kill again: reinstatement requires
+        # reinstate_threshold *consecutive* ok verdicts.
+        sim = Simulator(seed=0)
+        router = SessionRouter(sim, _endpoints(1))
+        detector = FailureDetector(sim, router, transport=object(),
+                                   suspicion_threshold=2,
+                                   reinstate_threshold=2)
+        endpoint = router.endpoints[0]
+        detector._on_failure(endpoint)
+        detector._on_failure(endpoint)
+        assert router.status[endpoint] == DOWN
+        for _ in range(3):  # flap: ok, fail, ok, fail, ...
+            detector._on_success(endpoint)
+            assert router.status[endpoint] == DOWN
+            detector._on_failure(endpoint)
+        assert router.reinstatements == 0
+        detector._on_success(endpoint)
+        detector._on_success(endpoint)
+        assert router.status[endpoint] == ACTIVE
+        assert router.reinstatements == 1
+
+    def test_thresholds_must_be_positive(self):
+        sim = Simulator(seed=0)
+        router = SessionRouter(sim, _endpoints(1))
+        with pytest.raises(FaultError):
+            FailureDetector(sim, router, transport=object(),
+                            reinstate_threshold=0)
+        with pytest.raises(FaultError):
+            FailureDetector(sim, router, transport=object(),
+                            suspicion_threshold=0)
+
+
+# -- health probes respect session deadlines ---------------------------------------
+
+
+class TestFailoverProbeDeadline:
+    def test_expired_deadline_fails_without_dialing(self):
+        sim = Simulator(seed=0)
+        pool = FailoverPool(sim, _endpoints(2))
+        gen = pool.probe(object(), pool.endpoints[0], deadline=Deadline(0.0))
+        with pytest.raises(StopIteration) as stop:
+            next(gen)
+        assert stop.value.value is False
+        assert pool.probes_sent == 0
+
+    def test_live_probe_succeeds_within_a_deadline(self):
+        testbed, fleet = _detector_world()
+        sim = testbed.sim
+        pool = FailoverPool(sim, fleet.endpoints)
+        transport = testbed.transport_of(testbed.control)
+        outcome = {}
+
+        def prober():
+            outcome["up"] = yield from pool.probe(
+                transport, fleet.endpoints[0],
+                deadline=Deadline(sim.now + 60.0))
+
+        sim.run(until=sim.process(prober(), name="probe"))
+        assert outcome["up"] is True
+        assert pool.probes_sent == 1
+
+    def test_probe_timeout_is_clamped_to_the_deadline(self):
+        # probe_timeout says 3s, but the session it gates has only 0.5s
+        # left: the dial must give up by the deadline, not after it.
+        testbed, fleet = _detector_world()
+        sim = testbed.sim
+        pool = FailoverPool(sim, fleet.endpoints, probe_timeout=3.0)
+        transport = testbed.transport_of(testbed.control)
+        testbed.transport_of(testbed.pops[0]).crash()
+        outcome = {}
+
+        def prober():
+            outcome["up"] = yield from pool.probe(
+                transport, fleet.endpoints[0],
+                deadline=Deadline(sim.now + 0.5))
+
+        start = sim.now
+        sim.run(until=sim.process(prober(), name="probe"))
+        assert outcome["up"] is False
+        assert sim.now - start <= 0.6
 
 
 # -- end-to-end: same-seed assignment and drain without drops ----------------------

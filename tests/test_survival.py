@@ -1,0 +1,614 @@
+"""repro.fleet.survival + repro.fleet.verifier: session survivability.
+
+The properties this file pins: a resume token round-trips its wire form
+byte-identically and only ever moves forward; a hedged dial launches
+its second attempt exactly when the primary outruns the p95 estimate,
+and a losing dial that succeeds anyway is closed (never leaked); the
+coordinator migrates a session at most ``migration_budget`` times and
+resumes it from its durable checkpoint — including when the *target*
+region escalates too, and when a migration races an operator drain;
+and the SurvivalVerifier machine-checks every headline claim of the
+escalation-to-blackout campaign instead of trusting a hand-read plot.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, Severity, parse_config
+from repro.errors import MeasurementError, TransportError
+from repro.faults import RetryPolicy
+from repro.fleet import (
+    DialLatencyTracker,
+    DOWN,
+    DRAINING,
+    FleetSchedule,
+    FleetTestbed,
+    HedgedDialer,
+    ProxyFleet,
+    ResumeToken,
+    SurvivalCoordinator,
+    SurvivalEvent,
+    SurvivalSession,
+    SurvivalVerifier,
+    default_fleet_regions,
+    run_survival_campaign,
+    survival_document,
+)
+from repro.measure import region_health
+from repro.overload import Deadline
+from repro.sim import Simulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+PYPROJECT = REPO_ROOT / "pyproject.toml"
+
+
+# -- resume tokens -----------------------------------------------------------------
+
+
+def _token(**overrides):
+    kwargs = dict(session="s1", method="scholarcloud",
+                  host="scholar.google.com", path="/survival/corpus.pdf",
+                  epoch=0, total_bytes=100, offset=0,
+                  deadline_remaining=240.0, checkpointed_at=0.0)
+    kwargs.update(overrides)
+    return ResumeToken(**kwargs)
+
+
+class TestResumeToken:
+    def test_wire_round_trip_is_exact(self):
+        token = _token(epoch=3, offset=40, deadline_remaining=17.25,
+                       checkpointed_at=222.75)
+        assert ResumeToken.from_wire(token.to_wire()) == token
+
+    def test_from_wire_rejects_foreign_tuples(self):
+        token = _token()
+        for wire in (("not-a-token",) + token.to_wire()[1:],
+                     token.to_wire()[:-1],
+                     list(token.to_wire())):
+            with pytest.raises(MeasurementError):
+                ResumeToken.from_wire(wire)
+
+    def test_advanced_moves_the_offset_forward(self):
+        token = _token()
+        later = token.advanced(30, now=10.0, deadline=Deadline(240.0))
+        assert later.offset == 30
+        assert later.deadline_remaining == 230.0
+        assert later.checkpointed_at == 10.0
+        assert later.epoch == token.epoch
+        assert not later.complete
+        done = later.advanced(70, now=20.0, deadline=Deadline(240.0), epoch=5)
+        assert done.complete
+        assert done.epoch == 5
+
+    def test_checkpoint_must_advance(self):
+        for nbytes in (0, -10):
+            with pytest.raises(MeasurementError):
+                _token().advanced(nbytes, now=1.0, deadline=Deadline(240.0))
+
+
+# -- region health -----------------------------------------------------------------
+
+
+class TestRegionHealth:
+    def test_quiet_region_scores_fully_healthy(self):
+        health = region_health("beijing")
+        assert health.score == 1.0
+        assert not health.degraded()
+
+    def test_blackout_signature_is_degraded(self):
+        # Border down: every transpacific breaker open, no traffic
+        # making it out — the exact fingerprint the coordinator drains on.
+        health = region_health("beijing", breakers_open=3, breakers_total=3)
+        assert health.breaker_open_fraction == 1.0
+        assert health.score < 0.5
+        assert health.degraded()
+
+    def test_interference_alone_does_not_drain_a_region(self):
+        health = region_health("beijing", interference_drops=50,
+                               packets_seen=100)
+        assert not health.degraded()
+
+    def test_negative_counters_raise(self):
+        with pytest.raises(MeasurementError):
+            region_health("beijing", shed=-1)
+
+
+# -- hedged dialing ----------------------------------------------------------------
+
+
+class _FakeConn:
+    def __init__(self, label):
+        self.label = label
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+def _dial_after(sim, delay, conn=None, error=None):
+    def thunk():
+        yield sim.timeout(delay)
+        if error is not None:
+            raise error
+        return conn
+
+    return thunk
+
+
+def _race(sim, dialer, attempts, until=60.0):
+    outcome = {}
+
+    def runner():
+        try:
+            conn, label = yield from dialer.dial(attempts)
+        except TransportError as exc:
+            outcome["error"] = exc
+            return
+        outcome["conn"], outcome["label"] = conn, label
+
+    sim.process(runner(), name="race")
+    sim.run(until=until)
+    return outcome
+
+
+class TestDialLatencyTracker:
+    def test_cold_start_uses_the_prior(self):
+        assert DialLatencyTracker(default=0.8).p95() == 0.8
+
+    def test_window_slides(self):
+        tracker = DialLatencyTracker(window=4)
+        for latency in (9.0, 1.0, 1.0, 1.0, 1.0):
+            tracker.observe(latency)
+        # The 9.0 outlier has rolled off the 4-sample window.
+        assert tracker.p95() == 1.0
+
+    def test_window_must_hold_a_sample(self):
+        with pytest.raises(MeasurementError):
+            DialLatencyTracker(window=0)
+
+
+class TestHedgedDialer:
+    def test_fast_primary_never_hedges(self):
+        sim = Simulator(seed=0)
+        dialer = HedgedDialer(sim)
+        conn = _FakeConn("a")
+        outcome = _race(sim, dialer, [
+            ("a", _dial_after(sim, 0.1, conn)),
+            ("b", _dial_after(sim, 0.1, _FakeConn("b")))])
+        assert outcome["conn"] is conn
+        assert outcome["label"] == "a"
+        assert dialer.hedges == 0
+        assert dialer.hedge_wins == 0
+        assert dialer.losers_closed == 0
+
+    def test_slow_primary_hedges_and_the_loser_closes(self):
+        # Both dials succeed: exactly one stream survives — the loser
+        # closes its own connection (the leak-on-error-path discipline).
+        sim = Simulator(seed=0)
+        dialer = HedgedDialer(sim)  # cold-start p95 estimate: 0.8s
+        slow, fast = _FakeConn("a"), _FakeConn("b")
+        outcome = _race(sim, dialer, [
+            ("a", _dial_after(sim, 5.0, slow)),
+            ("b", _dial_after(sim, 0.2, fast))])
+        assert outcome["conn"] is fast
+        assert outcome["label"] == "b"
+        assert dialer.hedges == 1
+        assert dialer.hedge_wins == 1
+        assert dialer.losers_closed == 1
+        assert slow.closed
+        assert not fast.closed
+
+    def test_failed_primary_fails_over_without_counting_a_hedge(self):
+        sim = Simulator(seed=0)
+        dialer = HedgedDialer(sim)
+        conn = _FakeConn("b")
+        outcome = _race(sim, dialer, [
+            ("a", _dial_after(sim, 0.1, error=TransportError("refused"))),
+            ("b", _dial_after(sim, 0.1, conn))])
+        assert outcome["conn"] is conn
+        assert dialer.hedges == 0  # failover, not a latency hedge
+        assert dialer.hedge_wins == 1
+
+    def test_all_attempts_failing_raises_the_last_error(self):
+        sim = Simulator(seed=0)
+        dialer = HedgedDialer(sim)
+        outcome = _race(sim, dialer, [
+            ("a", _dial_after(sim, 0.1, error=TransportError("first"))),
+            ("b", _dial_after(sim, 5.0, error=TransportError("second")))])
+        assert "second" in str(outcome["error"])
+
+    def test_single_attempt_races_nothing(self):
+        sim = Simulator(seed=0)
+        dialer = HedgedDialer(sim)
+        conn = _FakeConn("only")
+        outcome = _race(sim, dialer, [("only", _dial_after(sim, 2.0, conn))])
+        assert outcome["conn"] is conn
+        assert dialer.hedges == 0
+
+    def test_hedge_delay_is_seed_deterministic(self):
+        def delays(seed):
+            dialer = HedgedDialer(Simulator(seed=seed))
+            return [dialer.hedge_delay() for _ in range(5)]
+
+        assert delays(7) == delays(7)
+
+    def test_needs_at_least_one_attempt(self):
+        dialer = HedgedDialer(Simulator(seed=0))
+        with pytest.raises(MeasurementError):
+            list(dialer.dial([]))
+
+    def test_loser_close_paths_satisfy_the_leak_rule(self):
+        # The hedge opens two streams on purpose; pyproject extends the
+        # leak-on-error-path scope over repro.fleet so this stays provable.
+        analyzer = Analyzer(config=parse_config(PYPROJECT))
+        findings = analyzer.analyze_paths([SRC / "fleet"])
+        leaks = [f for f in findings if f.rule == "leak-on-error-path"
+                 and f.severity is Severity.ERROR]
+        assert leaks == [], "\n".join(f.format() for f in leaks)
+
+
+# -- the chunked survival document -------------------------------------------------
+
+
+class TestSurvivalDocument:
+    def test_chunks_tile_the_document(self):
+        page = survival_document(total_bytes=100, chunk_size=30)
+        assert [obj.size for obj in page.objects] == [30, 30, 30, 10]
+        assert [obj.path for obj in page.objects] == [
+            f"/survival/corpus.pdf?chunk={i}" for i in range(4)]
+        assert not any(obj.cacheable for obj in page.objects)
+
+    def test_sizes_must_be_positive(self):
+        with pytest.raises(MeasurementError):
+            survival_document(total_bytes=0)
+        with pytest.raises(MeasurementError):
+            survival_document(chunk_size=0)
+
+
+# -- adaptive retry budgets --------------------------------------------------------
+
+
+class TestScaledRetry:
+    def test_unit_scale_is_equivalent(self):
+        policy = RetryPolicy(attempts=4, base=1.0, budget=100.0)
+        scaled = policy.scaled(1.0)
+        assert scaled.attempts == 4
+        assert scaled.budget == 100.0
+
+    def test_degraded_health_shrinks_attempts_and_budget(self):
+        policy = RetryPolicy(attempts=4, base=1.0, budget=100.0)
+        scaled = policy.scaled(0.5)
+        assert scaled.attempts == 2
+        assert scaled.budget == 50.0
+
+    def test_scale_never_reaches_zero_attempts(self):
+        assert RetryPolicy(attempts=4).scaled(0.01).attempts == 1
+
+    def test_scale_must_be_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=4).scaled(0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=4).scaled(1.5)
+
+
+# -- the verifier over synthetic logs ----------------------------------------------
+
+
+def _log(*rows):
+    return [SurvivalEvent(time, kind, session, region, tuple(detail))
+            for time, kind, session, region, detail in rows]
+
+
+_REGIONS = ["beijing", "shanghai"]
+
+
+class TestSurvivalVerifier:
+    def test_clean_migrated_session_passes_every_invariant(self):
+        events = _log(
+            (0.0, "session-start", "s1", "beijing", ("beijing", 20)),
+            (1.0, "chunk", "s1", "beijing", (0, 10)),
+            (2.0, "region-degraded", "", "beijing", (0.4,)),
+            (3.0, "migrate", "s1", "shanghai", ("beijing", "shanghai", 10)),
+            (3.5, "resume", "s1", "shanghai", (10, "beijing")),
+            (4.0, "chunk", "s1", "shanghai", (10, 10)),
+            (5.0, "session-complete", "s1", "shanghai", (20,)),
+            (60.0, "region-recovered", "", "beijing", (0.9,)))
+        report = SurvivalVerifier(migration_budget=3).verify(events, _REGIONS)
+        assert report.passed
+        assert report.sessions == 1
+        assert report.completed == 1
+        assert report.migrations == 1
+        assert report.lost == 0
+
+    def test_loss_with_a_healthy_region_up_is_a_violation(self):
+        events = _log(
+            (0.0, "session-start", "s1", "beijing", ("beijing", 20)),
+            (1.0, "region-degraded", "", "beijing", (0.4,)),
+            (9.0, "session-lost", "s1", "beijing", ("deadline", 0)))
+        report = SurvivalVerifier().verify(events, _REGIONS)
+        verdict = report.invariant("no-session-lost-while-healthy")
+        assert not verdict.passed
+        assert "shanghai" in verdict.violations[0]
+
+    def test_loss_during_a_total_outage_is_tolerated(self):
+        events = _log(
+            (0.0, "session-start", "s1", "beijing", ("beijing", 20)),
+            (1.0, "region-degraded", "", "beijing", (0.4,)),
+            (2.0, "region-degraded", "", "shanghai", (0.3,)),
+            (9.0, "session-lost", "s1", "beijing", ("deadline", 0)))
+        report = SurvivalVerifier().verify(events, _REGIONS)
+        assert report.invariant("no-session-lost-while-healthy").passed
+
+    def test_duplicate_delivery_after_resume_is_caught(self):
+        events = _log(
+            (0.0, "session-start", "s1", "beijing", ("beijing", 20)),
+            (1.0, "chunk", "s1", "beijing", (0, 10)),
+            (2.0, "chunk", "s1", "beijing", (0, 10)),  # replayed chunk
+            (3.0, "chunk", "s1", "beijing", (10, 10)),
+            (4.0, "session-complete", "s1", "beijing", (20,)))
+        verdict = (SurvivalVerifier().verify(events, _REGIONS)
+                   .invariant("no-duplicate-delivery"))
+        assert not verdict.passed
+        assert "duplicate" in verdict.violations[0]
+
+    def test_gap_in_delivery_is_caught(self):
+        events = _log(
+            (0.0, "session-start", "s1", "beijing", ("beijing", 30)),
+            (1.0, "chunk", "s1", "beijing", (0, 10)),
+            (2.0, "chunk", "s1", "beijing", (20, 10)),  # skipped 10..20
+            (3.0, "session-complete", "s1", "beijing", (30,)))
+        verdict = (SurvivalVerifier().verify(events, _REGIONS)
+                   .invariant("no-duplicate-delivery"))
+        assert not verdict.passed
+        assert "gap" in verdict.violations[0]
+
+    def test_short_completion_is_caught(self):
+        events = _log(
+            (0.0, "session-start", "s1", "beijing", ("beijing", 100)),
+            (1.0, "chunk", "s1", "beijing", (0, 10)),
+            (2.0, "session-complete", "s1", "beijing", (10,)))
+        verdict = (SurvivalVerifier().verify(events, _REGIONS)
+                   .invariant("no-duplicate-delivery"))
+        assert not verdict.passed
+        assert "10 of 100" in verdict.violations[0]
+
+    def test_migration_budget_is_enforced(self):
+        events = _log(
+            (0.0, "session-start", "s1", "beijing", ("beijing", 10)),
+            (1.0, "migrate", "s1", "shanghai", ("beijing", "shanghai", 0)),
+            (2.0, "migrate", "s1", "beijing", ("shanghai", "beijing", 0)),
+            (3.0, "chunk", "s1", "beijing", (0, 10)),
+            (4.0, "session-complete", "s1", "beijing", (10,)))
+        assert (SurvivalVerifier(migration_budget=2)
+                .verify(events, _REGIONS).passed)
+        verdict = (SurvivalVerifier(migration_budget=1)
+                   .verify(events, _REGIONS)
+                   .invariant("migrations-within-budget"))
+        assert not verdict.passed
+
+    def test_hung_session_is_a_violation(self):
+        events = _log(
+            (0.0, "session-start", "s1", "beijing", ("beijing", 10)),
+            (1.0, "chunk", "s1", "beijing", (0, 10)))
+        verdict = (SurvivalVerifier().verify(events, _REGIONS)
+                   .invariant("no-session-unresolved"))
+        assert not verdict.passed
+        assert "s1" in verdict.violations[0]
+
+    def test_unrecovered_availability_fails(self):
+        # One bucket of successes, then only losses to the end: the dip
+        # is 100 points and the series never climbs back.
+        events = _log(
+            (0.0, "session-start", "s1", "beijing", ("beijing", 10)),
+            (1.0, "chunk", "s1", "beijing", (0, 10)),
+            (2.0, "session-complete", "s1", "beijing", (10,)),
+            (3.0, "region-degraded", "", "beijing", (0.4,)),
+            (4.0, "region-degraded", "", "shanghai", (0.3,)),
+            (50.0, "session-start", "s2", "beijing", ("beijing", 10)),
+            (70.0, "session-lost", "s2", "beijing", ("deadline", 0)))
+        report = SurvivalVerifier(bucket=30.0).verify(events, _REGIONS)
+        verdict = report.invariant("availability-dip-bounded")
+        assert not verdict.passed
+        assert report.dip == 1.0
+        assert not report.recovering
+
+    def test_out_of_order_log_raises(self):
+        events = _log(
+            (5.0, "session-start", "s1", "beijing", ("beijing", 10)),
+            (1.0, "chunk", "s1", "beijing", (0, 10)))
+        with pytest.raises(MeasurementError):
+            SurvivalVerifier().verify(events, _REGIONS)
+
+    def test_render_lists_every_verdict(self):
+        events = _log(
+            (0.0, "session-start", "s1", "beijing", ("beijing", 10)),
+            (1.0, "chunk", "s1", "beijing", (0, 10)),
+            (2.0, "session-complete", "s1", "beijing", (10,)))
+        rendered = SurvivalVerifier().verify(events, _REGIONS).render()
+        assert "survival verifier report" in rendered
+        assert rendered.count("[PASS]") == 5
+        assert "verdict: PASS" in rendered
+
+    def test_bad_thresholds_raise(self):
+        with pytest.raises(MeasurementError):
+            SurvivalVerifier(migration_budget=-1)
+        with pytest.raises(MeasurementError):
+            SurvivalVerifier(dip_ceiling=1.5)
+
+
+# -- coordinator placement: budgets, drains, double escalation ---------------------
+
+
+def _coordinator_world(seed=0, regions=3, **coordinator_kwargs):
+    testbed = FleetTestbed(seed=seed, regions=default_fleet_regions(regions),
+                           pops=2, clients_per_region=1,
+                           domestic_backbone=True)
+    fleet = ProxyFleet(testbed)
+    testbed.run_process(fleet.launch(), name="launch")
+    return testbed, fleet, SurvivalCoordinator(fleet, **coordinator_kwargs)
+
+
+class TestCoordinatorPlacement:
+    def test_unbound_session_enters_at_its_healthy_home(self):
+        _, _, coordinator = _coordinator_world()
+        assert coordinator.place("s1", "shanghai", None, 0) == "shanghai"
+        assert coordinator.migrations == 0
+
+    def test_unknown_home_region_raises(self):
+        _, _, coordinator = _coordinator_world()
+        with pytest.raises(MeasurementError):
+            coordinator.place("s1", "atlantis", None, 0)
+
+    def test_migration_spends_budget_then_pins(self):
+        _, _, coordinator = _coordinator_world(migration_budget=1)
+        coordinator.bind("s1", "beijing")
+        coordinator.entry_router.evict(coordinator.entries["beijing"])
+        first = coordinator.place("s1", "beijing", "beijing", 512)
+        assert first in ("shanghai", "guangzhou")
+        assert coordinator.migrations_of("s1") == 1
+        coordinator.bind("s1", first)
+        # The target degrades too, but the budget is spent: the session
+        # is pinned where it is instead of thrashing.
+        coordinator.entry_router.evict(coordinator.entries[first])
+        assert coordinator.place("s1", "beijing", first, 1024) == first
+        assert coordinator.migrations_of("s1") == 1
+        kinds = [event.kind for event in coordinator.events]
+        assert kinds.count("migrate") == 1
+        assert kinds.count("migrate-denied") == 1
+
+    def test_no_healthy_region_places_nowhere(self):
+        _, _, coordinator = _coordinator_world(regions=2)
+        for entry in coordinator.entries.values():
+            coordinator.entry_router.evict(entry)
+        assert coordinator.place("s1", "beijing", "beijing", 0) is None
+        assert coordinator.migrations == 0
+
+    def test_migration_racing_a_drain(self):
+        # Operator drains a front door mid-session; established sessions
+        # stay (that is what draining means) — until the region degrades
+        # under the drain, which displaces them like any eviction.
+        _, _, coordinator = _coordinator_world()
+        entry = coordinator.entries["beijing"]
+        coordinator.bind("s1", "beijing")
+        coordinator.entry_router.drain(entry)
+        assert coordinator.entry_router.status[entry] == DRAINING
+        assert coordinator.place("s1", "beijing", "beijing", 256) == "beijing"
+        assert coordinator.migrations == 0  # a drain is not a migration
+        coordinator.entry_router.evict(entry)
+        assert coordinator.entry_router.status[entry] == DOWN
+        moved = coordinator.place("s1", "beijing", "beijing", 256)
+        assert moved != "beijing"
+        assert coordinator.migrations_of("s1") == 1
+        coordinator.bind("s1", moved)
+        # The drained-then-dead region coming back must not flap the
+        # session home again.
+        coordinator.entry_router.reinstate(entry)
+        assert coordinator.place("s1", "beijing", moved, 512) == moved
+        assert coordinator.migrations_of("s1") == 1
+
+
+# -- end to end: a session outlives two regional escalations -----------------------
+
+
+class TestSessionSurvivesEscalations:
+    def test_checkpoint_resume_after_the_target_region_escalates(self):
+        testbed = FleetTestbed(seed=1, regions=default_fleet_regions(3),
+                               pops=2, clients_per_region=1,
+                               domestic_backbone=True)
+        sim = testbed.sim
+        fleet = ProxyFleet(testbed)
+        testbed.run_process(fleet.launch(), name="launch")
+        page = survival_document(total_bytes=40 * 2048, chunk_size=2048)
+        testbed.scholar_server.add_page(page)
+        coordinator = SurvivalCoordinator(fleet)
+        coordinator.start()
+
+        # The session's first fallback is a pure function of its key, so
+        # the schedule can black out the *target* region after the move.
+        fallback = next(
+            entry.name for entry in coordinator.entry_router.rank("edge-1")
+            if entry.name != "beijing")
+        schedule = FleetSchedule()
+        schedule.region_blackout("beijing", at=15.0, downtime=600.0)
+        schedule.region_blackout(fallback, at=120.0, downtime=600.0)
+        schedule.install(testbed)
+
+        session = SurvivalSession(
+            coordinator, host=testbed.region("beijing").extra_clients[0],
+            home="beijing", key="edge-1", page=page, chunk_size=2048,
+            load_deadline=600.0, chunk_interval=3.0)
+        proc = sim.process(session.run(), name="edge-session")
+        sim.run(until=proc)
+
+        assert session.completed and not session.lost
+        assert coordinator.migrations_of("edge-1") == 2
+        migrations = [event for event in coordinator.events
+                      if event.kind == "migrate"]
+        assert [event.detail[:2] for event in migrations] == [
+            ("beijing", fallback),
+            (fallback, session.region)]
+        resumes = [event for event in coordinator.events
+                   if event.kind == "resume"]
+        offsets = [event.detail[0] for event in resumes]
+        # Both resumes continued from a real mid-file checkpoint.
+        assert len(offsets) == 2
+        assert 0 < offsets[0] < offsets[1] < page.total_bytes()
+        report = SurvivalVerifier(
+            migration_budget=coordinator.migration_budget).verify(
+            coordinator.events, [r.name for r in testbed.regions],
+            horizon=sim.now)
+        assert report.passed, report.render()
+
+
+# -- the longitudinal escalation-to-blackout campaign ------------------------------
+
+
+def _small_campaign(seed=0):
+    return run_survival_campaign(
+        regions=("beijing", "shanghai"), pops=2, clients_per_region=2,
+        cycles=2, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    return _small_campaign()
+
+
+class TestSurvivalCampaign:
+    def test_every_session_survives_the_blackout(self, small_campaign):
+        result = small_campaign
+        assert result.lost == 0
+        assert result.completed == 2 * 2 * 2  # regions x clients x cycles
+        assert result.migrations > 0
+
+    def test_sessions_resume_from_mid_file_checkpoints(self, small_campaign):
+        resumes = [event for event in small_campaign.events
+                   if event.kind == "resume"]
+        assert resumes
+        assert all(event.detail[0] > 0 for event in resumes)
+
+    def test_victim_degrades_and_recovers(self, small_campaign):
+        kinds = [(event.kind, event.region)
+                 for event in small_campaign.events]
+        degraded = kinds.index(("region-degraded", "beijing"))
+        recovered = kinds.index(("region-recovered", "beijing"))
+        assert degraded < recovered
+
+    def test_verifier_certifies_the_campaign(self, small_campaign):
+        report = SurvivalVerifier().verify_campaign(small_campaign)
+        assert report.passed, report.render()
+        assert report.sessions == 8
+        assert report.dip <= 0.15
+
+    def test_campaign_is_byte_identical_per_seed(self, small_campaign):
+        again = _small_campaign()
+        assert again.event_digest == small_campaign.event_digest
+        assert again.events == small_campaign.events
+        assert again.health_log == small_campaign.health_log
+        assert again.entry_events == small_campaign.entry_events
+
+    def test_victim_must_be_a_campaign_region(self):
+        with pytest.raises(MeasurementError):
+            run_survival_campaign(regions=("beijing",), victim="shanghai")
