@@ -1,0 +1,211 @@
+"""Edge cache & content delivery: the transpacific-savings benches.
+
+The content-delivery bet of ROADMAP item 3, gated:
+
+* **Headline savings.**  At the 300-client overload point on the
+  repeated-query (scraper-shaped, Zipf-popularity) workload, turning
+  the edge cache on removes at least **40%** of the transpacific
+  border bytes and lowers the median PLT — for every seed in (0, 1, 2),
+  with admission bypass letting hits skip the waiting room.  Measured
+  ~70% byte reduction and ~2.6x lower median PLT.
+* **Determinism.**  Same-seed cached sweeps replay byte-identically:
+  equal hit/miss/evict event digests, equal border byte counts.
+* **Rotation coherence.**  A blinding rotation fired mid-sweep purges
+  every entry and the sweep finishes on fresh-epoch hits; the store
+  hard-asserts (crashes the run) if a stale-epoch entry were ever
+  addressed, so completion *is* the no-stale-serves proof.
+* **Fleet scale.**  The hybrid-mode multi-region sweep runs per-PoP
+  second tiers and reports per-region hit rates in the FleetReport.
+
+The seed-0 headline numbers land in ``benchmarks/results/
+cache_report.json`` (the CI artifact).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cache import CacheConfig, query_corpus
+from repro.fleet import fleet_sweep
+from repro.http.browser import Browser
+from repro.measure import format_table
+from repro.measure.scenarios import prepare, run_repeated_query_point
+from repro.overload import OverloadConfig
+
+FAST = bool(os.environ.get("REPRO_FAST"))
+
+#: The overload point the savings are claimed at (trimmed in CI's
+#: REPRO_FAST lanes; the gates are identical at both scales).
+CLIENTS = 120 if FAST else 300
+SEEDS = (0,) if FAST else (0, 1, 2)
+#: The acceptance floor: cached runs must shed >= 40% of border bytes.
+MIN_REDUCTION = 0.40
+
+#: Same knee knobs as benchmarks/test_overload.py, so the comparison
+#: is at a calibrated operating point; the cached cell adds admission
+#: bypass so hits skip the waiting room entirely.
+_KNEE = dict(max_sessions=120, max_waiting=16, queue_delay_threshold=2.0)
+OFF_CONFIG = OverloadConfig(**_KNEE)
+ON_CONFIG = OverloadConfig(cache_bypass=True, **_KNEE)
+
+
+@pytest.fixture(scope="module")
+def savings():
+    """(cache off, cache on) repeated-query points per seed."""
+    results = {}
+    for seed in SEEDS:
+        off = run_repeated_query_point(clients=CLIENTS, cycles=1, seed=seed,
+                                       overload=OFF_CONFIG)
+        on = run_repeated_query_point(clients=CLIENTS, cycles=1, seed=seed,
+                                      overload=ON_CONFIG, cache=CacheConfig())
+        results[seed] = (off, on)
+    return results
+
+
+def test_cache_headline_savings(benchmark, emit, results_dir, savings):
+    benchmark.pedantic(run_repeated_query_point,
+                       kwargs={"clients": 20, "cycles": 1, "seed": 9,
+                               "cache": CacheConfig()},
+                       rounds=1, iterations=1)
+    rows = []
+    for seed in SEEDS:
+        off, on = savings[seed]
+        reduction = 1.0 - on.transpacific_bytes / off.transpacific_bytes
+        rows.append((
+            seed,
+            f"{off.transpacific_bytes:,}",
+            f"{on.transpacific_bytes:,}",
+            f"{reduction:.1%}",
+            f"{on.cache.hit_rate:.1%}",
+            f"{off.plt.p50:.3f}",
+            f"{on.plt.p50:.3f}",
+        ))
+    emit("cache_savings", format_table(
+        ("seed", "border B (off)", "border B (on)", "reduction",
+         "hit rate", "plt p50 off", "plt p50 on"),
+        rows,
+        title=f"Edge cache at the {CLIENTS}-client overload point "
+              f"(repeated-query workload)"))
+
+    for seed in SEEDS:
+        off, on = savings[seed]
+        reduction = 1.0 - on.transpacific_bytes / off.transpacific_bytes
+        assert reduction >= MIN_REDUCTION, (
+            f"seed {seed}: border-byte reduction {reduction:.1%} is below "
+            f"the {MIN_REDUCTION:.0%} gate")
+        assert on.plt.p50 < off.plt.p50, (
+            f"seed {seed}: cached median PLT {on.plt.p50:.3f}s is not "
+            f"below uncached {off.plt.p50:.3f}s")
+        assert on.cache.hits > 0
+        # Hits answered at the edge beat misses that crossed the border.
+        if on.cache.plt_hit is not None and on.cache.plt_miss is not None:
+            assert on.cache.plt_hit.p50 < on.cache.plt_miss.p50
+
+    # The CI artifact: seed-0 CacheReport plus the headline comparison.
+    off, on = savings[SEEDS[0]]
+    report = on.cache
+    payload = {
+        "clients": CLIENTS,
+        "seed": SEEDS[0],
+        "hits": report.hits,
+        "misses": report.misses,
+        "hit_rate": round(report.hit_rate, 4),
+        "evictions": report.evictions,
+        "expirations": report.expirations,
+        "invalidations": report.invalidations,
+        "bytes_served": report.bytes_served,
+        "transpacific_bytes_avoided": report.transpacific_bytes_avoided,
+        "transpacific_bytes_off": off.transpacific_bytes,
+        "transpacific_bytes_on": on.transpacific_bytes,
+        "reduction": round(1.0 - on.transpacific_bytes
+                           / off.transpacific_bytes, 4),
+        "plt_p50_off": round(off.plt.p50, 6),
+        "plt_p50_on": round(on.plt.p50, 6),
+        "plt_p50_hit": (round(report.plt_hit.p50, 6)
+                        if report.plt_hit is not None else None),
+        "plt_p50_miss": (round(report.plt_miss.p50, 6)
+                         if report.plt_miss is not None else None),
+        "event_digest": report.event_digest,
+    }
+    (results_dir / "cache_report.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_cached_sweep_is_seed_deterministic(savings):
+    """Re-running any seed replays the identical event stream."""
+    for seed in SEEDS:
+        again = run_repeated_query_point(clients=CLIENTS, cycles=1,
+                                         seed=seed, overload=ON_CONFIG,
+                                         cache=CacheConfig())
+        _off, on = savings[seed]
+        assert again.cache.event_digest == on.cache.event_digest, seed
+        assert again.transpacific_bytes == on.transpacific_bytes, seed
+        assert again.plt.p50 == on.plt.p50, seed
+
+
+def test_rotation_mid_sweep_never_serves_stale(emit):
+    """Rotate the blinding codec while scraper clients are mid-sweep.
+
+    The store raises (killing the run) if a stale-epoch entry is ever
+    addressed, so the sweep *completing* with post-rotation hits is
+    the proof: rotation purged eagerly, the epoch moved in every key,
+    and the cache refilled under the new codec.
+    """
+    world = prepare("scholarcloud", seed=0, cache=CacheConfig(),
+                    extra_clients=8)
+    testbed = world.testbed
+    corpus = query_corpus(4)
+    for page in corpus:
+        testbed.scholar_server.add_page(page)
+    cache = world.method.cache
+    at_rotation = {}
+
+    def client(sim, host, offset):
+        connector = yield from world.method.attach_client(host)
+        browser = Browser(sim, connector, name=f"browser-{host.name}")
+        yield sim.timeout(offset)
+        for page in (corpus[0], corpus[1], corpus[0], corpus[1],
+                     corpus[0], corpus[0]):
+            yield sim.process(browser.load(page))
+            yield sim.timeout(1.0)
+
+    def rotator(sim):
+        yield sim.timeout(12.0)  # mid-sweep: caches are warm and busy
+        at_rotation["hits"] = cache.hits
+        epoch = world.method.rotate_blinding()
+        at_rotation["epoch"] = epoch
+
+    processes = [
+        testbed.sim.process(client(testbed.sim, host, 2.0 * index),
+                            name=f"scraper-{index}")
+        for index, host in enumerate(testbed.extra_clients[:8])]
+    testbed.sim.process(rotator(testbed.sim), name="rotator")
+    testbed.sim.run(until=testbed.sim.all_of(processes))
+
+    assert at_rotation["epoch"] == 1
+    assert at_rotation["hits"] > 0        # the cache was warm going in
+    assert cache.invalidations >= 1       # rotation purged eagerly
+    assert cache.hits > at_rotation["hits"]  # fresh-epoch hits after
+    emit("cache_rotation",
+         f"mid-sweep blinding rotation: {at_rotation['hits']} hits "
+         f"before, {cache.hits - at_rotation['hits']} fresh-epoch hits "
+         f"after, {cache.invalidations} entries purged, 0 stale serves "
+         f"(store hard-asserts)")
+
+
+def test_fleet_hybrid_sweep_reports_per_region_hit_rates(emit):
+    regions = ("beijing", "shanghai") if FAST else (
+        "beijing", "shanghai", "guangzhou", "chengdu")
+    report, _results = fleet_sweep(regions, pops=2,
+                                   clients=40 if FAST else 80,
+                                   cycles=1, seed=0, mode="hybrid",
+                                   workload="queries",
+                                   cache=CacheConfig(remote_tier=True))
+    emit("cache_fleet", report.render())
+    assert report.total_cache_lookups > 0
+    assert report.cache_hit_rate > 0.10
+    assert report.total_transpacific_avoided > 0
+    for region in report.regions:
+        assert region.cache_lookups > 0, region.region
+        assert region.cache_hit_rate > 0.0, region.region

@@ -20,6 +20,7 @@ STREAM_MANIFEST: t.Dict[str, t.Tuple[str, ...]] = {
     "mps": ("repro.policy",),
     "faults.schedule": ("repro.measure",),
     "scalability-offsets": ("repro.measure",),
+    "cache.zipf": ("repro.measure", "repro.fleet"),
     "survey.population": ("repro.measure",),
     "resilience.sc-client": ("repro.core",),
     "resilience.sc-domestic": ("repro.core",),

@@ -19,7 +19,11 @@ from .flow_rules import (
     WireSchemaRule,
 )
 from .process import UninvokedProcessRule, YieldLiteralRule
-from .robustness import SilentExceptRule, UnboundedQueueRule
+from .robustness import (
+    SilentExceptRule,
+    UnboundedCacheFieldRule,
+    UnboundedQueueRule,
+)
 from .sim_safety import REALNET_EXEMPT, BlockingCallRule, ForbiddenImportRule
 
 _ALL_RULES: t.Tuple[t.Type[Rule], ...] = (
@@ -34,6 +38,7 @@ _ALL_RULES: t.Tuple[t.Type[Rule], ...] = (
     YieldLiteralRule,
     SilentExceptRule,
     UnboundedQueueRule,
+    UnboundedCacheFieldRule,
 )
 
 _ALL_PROJECT_RULES: t.Tuple[t.Type[ProjectRule], ...] = (
@@ -75,6 +80,7 @@ __all__ = [
     "SeededRandomRule",
     "SilentExceptRule",
     "StrBytesMixingRule",
+    "UnboundedCacheFieldRule",
     "UnboundedQueueRule",
     "UninvokedProcessRule",
     "WallClockRule",

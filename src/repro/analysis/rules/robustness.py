@@ -205,3 +205,141 @@ class UnboundedQueueRule(Rule):
                              and keyword.value.value is None)
                     for keyword in body.keywords)
         return False
+
+
+#: Constructors whose no-arg result is an empty mapping.
+_DICT_CONSTRUCTORS = frozenset({"dict", "OrderedDict", "defaultdict"})
+#: Mapping methods that insert or may insert entries.
+_MAP_GROW_METHODS = frozenset({"setdefault", "update"})
+#: Mapping methods that remove entries (shrink evidence).
+_MAP_SHRINK_METHODS = frozenset({"pop", "popitem", "clear"})
+
+
+class UnboundedCacheFieldRule(Rule):
+    """Instance dicts that only ever gain keys must shed them somewhere.
+
+    The :class:`UnboundedQueueRule` sibling for mapping state: a cache,
+    session table, or index initialized to an empty dict in ``__init__``
+    and written by keyed inserts with *no* removal anywhere in the class
+    (``pop``/``popitem``/``clear``/``del``/wholesale reassignment) grows
+    for the instance's lifetime.  For long-lived sim objects — proxies,
+    firewalls, caches — that is the memory curve of Figure 7's
+    right-hand side.  Evict somewhere (TTL sweep, watermark, epoch
+    reset), or suppress with a comment naming what genuinely bounds the
+    key space.
+    """
+
+    id = "unbounded-cache-field"
+    description = ("insert-only instance dict on a sim object; entries "
+                   "accumulate for the instance's lifetime — evict "
+                   "(pop/popitem/clear/del) or justify the key-space "
+                   "bound in a suppression comment")
+    default_scope = ("repro.core", "repro.middleware", "repro.transport",
+                     "repro.net", "repro.cache", "repro.overload",
+                     "repro.gfw", "repro.fleet")
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        fields = self._empty_dict_fields(node)
+        if fields:
+            grown, shrunk = self._field_traffic(node, set(fields))
+            for name in sorted(grown - shrunk):
+                self.report(fields[name],
+                            f"self.{name} only ever gains entries in "
+                            f"{node.name}; nothing pops, clears, deletes, "
+                            "or replaces it — an unbounded cache on a "
+                            "long-lived sim object")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _self_attr(expr: ast.expr) -> t.Optional[str]:
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"):
+            return expr.attr
+        return None
+
+    def _empty_dict_fields(self, node: ast.ClassDef
+                           ) -> t.Dict[str, ast.expr]:
+        """``self.X`` fields bound to an empty mapping in ``__init__``."""
+        fields: t.Dict[str, ast.expr] = {}
+        for method in node.body:
+            if not (isinstance(method, ast.FunctionDef)
+                    and method.name == "__init__"):
+                continue
+            for statement in ast.walk(method):
+                target: t.Optional[ast.expr] = None
+                value: t.Optional[ast.expr] = None
+                if (isinstance(statement, ast.Assign)
+                        and len(statement.targets) == 1):
+                    target, value = statement.targets[0], statement.value
+                elif (isinstance(statement, ast.AnnAssign)
+                        and statement.value is not None):
+                    target, value = statement.target, statement.value
+                if target is None or value is None:
+                    continue
+                name = self._self_attr(target)
+                if name is not None and self._empty_mapping(value):
+                    fields[name] = value
+        return fields
+
+    @staticmethod
+    def _empty_mapping(value: ast.expr) -> bool:
+        if isinstance(value, ast.Dict):
+            # A pre-keyed literal ({a: 0, b: 0}) has a fixed key space.
+            return not value.keys
+        if isinstance(value, ast.Call) and not value.args:
+            func = value.func
+            if isinstance(func, ast.Attribute):
+                return func.attr in _DICT_CONSTRUCTORS
+            return (isinstance(func, ast.Name)
+                    and func.id in _DICT_CONSTRUCTORS)
+        # defaultdict(list) etc. — still an empty mapping.
+        if isinstance(value, ast.Call):
+            func = value.func
+            name = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None)
+            return name == "defaultdict"
+        return False
+
+    def _field_traffic(self, node: ast.ClassDef, names: t.Set[str]
+                       ) -> t.Tuple[t.Set[str], t.Set[str]]:
+        """Which of ``names`` gain entries / lose entries in the class."""
+        grown: t.Set[str] = set()
+        shrunk: t.Set[str] = set()
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            in_init = method.name == "__init__"
+            for statement in ast.walk(method):
+                if isinstance(statement, (ast.Assign, ast.AugAssign)):
+                    targets = (statement.targets
+                               if isinstance(statement, ast.Assign)
+                               else [statement.target])
+                    for target in targets:
+                        if isinstance(target, ast.Subscript):
+                            name = self._self_attr(target.value)
+                            if name in names:
+                                grown.add(name)
+                        elif not in_init:
+                            # Wholesale replacement resets the mapping:
+                            # growth is bounded by the reset cadence.
+                            name = self._self_attr(target)
+                            if name in names:
+                                shrunk.add(name)
+                elif isinstance(statement, ast.Delete):
+                    for target in statement.targets:
+                        if isinstance(target, ast.Subscript):
+                            name = self._self_attr(target.value)
+                            if name in names:
+                                shrunk.add(name)
+                elif isinstance(statement, ast.Call):
+                    func = statement.func
+                    if isinstance(func, ast.Attribute):
+                        name = self._self_attr(func.value)
+                        if name in names:
+                            if func.attr in _MAP_GROW_METHODS:
+                                grown.add(name)
+                            elif func.attr in _MAP_SHRINK_METHODS:
+                                shrunk.add(name)
+        return grown, shrunk

@@ -18,13 +18,17 @@ while the browser's already-acknowledged stream simply queues.
 from __future__ import annotations
 
 import typing as t
+from dataclasses import replace
 
+from ..cache import ResponseCache, canonical_key
 from ..errors import MiddlewareError, OverloadError, TransportError
 from ..faults import Endpoint, FailoverPool, RetryPolicy
+from ..http.messages import HttpRequest, HttpResponse
 from ..net import IPv4Address
 from ..overload import AdmissionController, Deadline, OverloadConfig, deadline_from_wire
-from ..sim import ProcessorSharingServer, Simulator
+from ..sim import ProcessorSharingServer, Simulator, Store
 from ..transport import TcpConnection, TransportLayer
+from ..transport import tls as tls_sizes
 from ..middleware.base import unwrap_forward, wrap_forward
 from .blinding import BlindingAgility
 from .remote_proxy import REMOTE_PROXY_PORT, blind_unwrap, blind_wrap
@@ -64,6 +68,7 @@ class DomesticProxy:
         overload: t.Optional[OverloadConfig] = None,
         router: t.Optional[t.Any] = None,
         hedge: t.Optional[t.Any] = None,
+        cache: t.Optional[ResponseCache] = None,
     ) -> None:
         """``router`` (a :class:`~repro.fleet.router.SessionRouter`)
         layers sticky fleet-wide session->PoP assignment over the
@@ -102,6 +107,15 @@ class DomesticProxy:
             rng=sim.rng.stream("resilience.sc-domestic"))
         self.router = router
         self.hedge = hedge
+        #: Optional edge response cache (see :mod:`repro.cache`).  None
+        #: — the default — keeps the historical pure-relay behaviour
+        #: event-for-event identical.
+        self.cache = cache
+        #: TLS session tickets the *proxy* holds with origins; the edge
+        #: path runs the origin handshake itself (the browser's
+        #: handshake terminates here).  Bounded by the whitelist: at
+        #: most one entry per reachable hostname.
+        self._edge_tickets: t.Set[str] = set()
         self.streams_served = 0
         self.refused = 0
         self.dials_failed = 0
@@ -156,6 +170,12 @@ class DomesticProxy:
             if self.admission is not None:
                 self.admission.record_expired(source, priority)
             self._reject(conn, "expired")
+            return
+        if self.cache is not None:
+            # Edge mode owns its own admission (it may defer it to the
+            # first transpacific need under ``cache_bypass``).
+            yield from self._serve_edge(conn, hostname, target_port,
+                                        deadline, source, priority)
             return
         session: t.Optional[str] = None
         if self.admission is not None:
@@ -361,6 +381,292 @@ class DomesticProxy:
         self.dials_failed += 1
         return None
 
+    # -- edge-cache serving ---------------------------------------------------------------------
+
+    def _serve_edge(self, conn: TcpConnection, hostname: str,
+                    target_port: int, deadline: t.Optional[Deadline],
+                    source: str, priority: int):
+        """Terminate the browser leg locally and serve from the cache.
+
+        The browser speaks exactly what it would toward an origin — an
+        optional modeled TLS handshake, then HTTP message frames — so
+        this loop answers the handshake itself, serves hits straight
+        from :attr:`cache` without ever dialing transpacific, and only
+        opens the blinded leg (admitting the session there when
+        admission was deferred under ``cache_bypass``) on the first
+        miss.  Non-HTTP plaintext streams (echo probes, diagnostics)
+        degrade to the classic relay untouched.
+        """
+        cache = self.cache
+        assert cache is not None
+        session: t.Optional[str] = None
+        bypass = (self.admission is not None
+                  and self.admission.config.cache_bypass)
+        if self.admission is not None and not bypass:
+            try:
+                yield from self.admission.admit(source, priority,
+                                                deadline=deadline)
+            except OverloadError:
+                self._reject(conn, "shed")
+                return
+            session = source
+            if deadline is not None and deadline.expired(self.sim.now):
+                # Expired while queued in the waiting room.
+                self.deadline_drops += 1
+                self.admission.record_expired(source, priority)
+                self.admission.release(source, succeeded=False)
+                self._reject(conn, "expired")
+                return
+        yield self.cpu.submit(CONNECT_DEMAND)
+        self.streams_served += 1
+        try:
+            conn.send_message(16, meta=("sc-ready",))
+        except TransportError:
+            conn.close()
+            self._release(session, succeeded=False)
+            return
+        upstream: t.Optional[_EdgeUpstream] = None
+        handed_off = False
+        bound = False
+        failed = False
+        tls_on = False           # the browser ran its handshake with us
+        pending_full = False     # full handshake: we owe a server-finished
+        try:
+            while True:
+                try:
+                    message = yield conn.recv_message()
+                except TransportError:
+                    return
+                if message is None:
+                    return
+                try:
+                    length, meta = unwrap_forward(message)
+                except MiddlewareError:
+                    continue  # malformed browser frame: skip, keep serving
+                wrapped = (isinstance(meta, tuple) and len(meta) == 2
+                           and meta[0] == "tls-app"
+                           and isinstance(meta[1], HttpRequest))
+                if isinstance(meta, tuple) and meta and meta[0] == "tls":
+                    yield self.cpu.submit(PER_BYTE_DEMAND * length)
+                    if meta[1] == "client-hello":
+                        tls_on = True
+                        resumed = bool(meta[3]) if len(meta) >= 4 else False
+                        pending_full = not resumed
+                        if resumed:
+                            reply_len = tls_sizes.ABBREVIATED_SERVER_HELLO
+                            reply: t.Tuple = ("tls", "server-hello-abbreviated")
+                        else:
+                            reply_len = tls_sizes.SERVER_HELLO_WITH_CERT
+                            reply = ("tls", "server-hello")
+                        if not self._edge_send(conn, reply_len, reply):
+                            return
+                    elif meta[1] == "client-finished" and pending_full:
+                        pending_full = False
+                        if not self._edge_send(
+                                conn, tls_sizes.SERVER_FINISHED,
+                                ("tls", "server-finished")):
+                            return
+                    # A resumed client-finished needs no reply.
+                    continue
+                if wrapped or isinstance(meta, HttpRequest):
+                    request: HttpRequest = meta[1] if wrapped else meta
+                    yield self.cpu.submit(PER_BYTE_DEMAND * length)
+                    key = canonical_key(request, target_port)
+                    cached = cache.lookup(key)
+                    if cached is not None:
+                        out_len = cache.wire_length_of(key)
+                        response = replace(cached, from_cache=True)
+                        out_meta: t.Any = (("tls-app", response) if wrapped
+                                           else response)
+                        # Mark for the fluid layer: this stream is
+                        # locally terminated, so its plaintext CONNECT
+                        # features no longer gate the fast path.
+                        conn._sc_cache_served = True
+                        yield self.cpu.submit(PER_BYTE_DEMAND * out_len)
+                        if not self._edge_send(conn, out_len, out_meta):
+                            return
+                        continue
+                    if upstream is None:
+                        if session is None and self.admission is not None:
+                            # Deferred admission (cache_bypass): this
+                            # miss is the first transpacific need.
+                            try:
+                                yield from self.admission.admit(
+                                    source, priority, deadline=deadline)
+                            except OverloadError:
+                                self._reject(conn, "shed")
+                                failed = True
+                                return
+                            session = source
+                        upstream = yield from self._edge_dial(
+                            hostname, target_port, deadline, source)
+                        if upstream is None:
+                            failed = True
+                            return
+                        bound = self.router is not None
+                        if tls_on:
+                            ok = yield from upstream.origin_handshake(hostname)
+                            if not ok:
+                                failed = True
+                                return
+                    fetched = yield from upstream.fetch(request, wrapped)
+                    if fetched is None:
+                        failed = True
+                        return
+                    response, out_len = fetched
+                    out_meta = ("tls-app", response) if wrapped else response
+                    if not self._edge_send(conn, out_len, out_meta):
+                        return
+                    if (response.status == 200 and response.cacheable
+                            and not response.record_account):
+                        cache.insert(
+                            key, response, out_len,
+                            avoided_bytes=self._transpacific_cost(length,
+                                                                  out_len))
+                    continue
+                if tls_on:
+                    # Unknown payload inside a locally-terminated TLS
+                    # session: nothing sane to relay.  Drop the stream.
+                    return
+                # Pre-TLS non-HTTP plaintext: the edge cannot help; hand
+                # the stream — including this already-consumed frame —
+                # to the classic relay, which owns all cleanup once the
+                # handoff completes.
+                if upstream is not None:
+                    # Any miss-path leg opened earlier is not part of
+                    # the handoff; the passthrough dials its own.
+                    upstream.close()
+                    upstream = None
+                yield from self._edge_passthrough(
+                    conn, hostname, target_port, deadline, source,
+                    priority, session, (length, meta))
+                handed_off = True
+                return
+        finally:
+            self._edge_cleanup(conn, upstream, source, session, bound,
+                               handed_off, failed)
+
+    def _edge_cleanup(self, conn: TcpConnection,
+                      upstream: t.Optional["_EdgeUpstream"], source: str,
+                      session: t.Optional[str], bound: bool,
+                      handed_off: bool, failed: bool) -> None:
+        """Teardown for one edge session.
+
+        A completed passthrough handoff is a no-op here — the classic
+        pumps own the connection, the route, and the admission slot
+        (released via their completion callbacks).
+        """
+        if handed_off:
+            return
+        conn.close()
+        if upstream is not None:
+            upstream.close()
+        if bound:
+            self._release_route(source)
+        if session is not None and self.admission is not None:
+            self.admission.release(session, succeeded=not failed)
+
+    def _edge_send(self, conn: TcpConnection, length: int,
+                   meta: t.Any) -> bool:
+        """Send one forward-framed message to the browser; False on error."""
+        try:
+            conn.send_message(length, meta=wrap_forward(length, meta))
+        except TransportError:
+            return False
+        return True
+
+    def _edge_dial(self, hostname: str, target_port: int,
+                   deadline: t.Optional[Deadline], source: str):
+        """Dial transpacific for a cache miss and open the relay leg.
+
+        Returns an :class:`_EdgeUpstream`, or None once dialing (or the
+        pipelined open) failed — with the router binding already
+        released, so the caller only owns a route on success.
+        """
+        remote = yield from self._dial_remote(deadline, session_key=source)
+        if remote is None:
+            return None
+        codec = self.agility.codec
+        open_length = 24 + codec.pad_length(24)
+        open_meta: t.Tuple = ("sc-open", hostname, target_port)
+        if deadline is not None:
+            open_meta = open_meta + (deadline.at,)
+        try:
+            remote.send_message(
+                open_length,
+                meta=blind_wrap(self.agility.epoch, 24, open_meta),
+                features=codec.features())
+        except TransportError:
+            remote.close()
+            self._release_route(source)
+            return None
+        return _EdgeUpstream(self, remote)
+
+    def _transpacific_cost(self, request_length: int,
+                           response_length: int) -> int:
+        """Blinded transpacific bytes one future hit keeps off the
+        border link: the padded request and response frames."""
+        pad = self.agility.codec.pad_length
+        return (request_length + 4 + pad(request_length)
+                + response_length + 4 + pad(response_length))
+
+    def _edge_passthrough(self, conn: TcpConnection, hostname: str,
+                          target_port: int, deadline: t.Optional[Deadline],
+                          source: str, priority: int,
+                          session: t.Optional[str],
+                          first_frame: t.Tuple[int, t.Any]):
+        """Degrade one non-HTTP stream to the classic relay.
+
+        Admission (when deferred) happens here — passthrough always
+        needs the transpacific leg — and the already-consumed first
+        frame is re-sent ahead of the pumps so the remote proxy sees a
+        stream identical to the classic path's.
+        """
+        if session is None and self.admission is not None:
+            try:
+                yield from self.admission.admit(source, priority,
+                                                deadline=deadline)
+            except OverloadError:
+                self._reject(conn, "shed")
+                return
+            session = source
+        remote = yield from self._dial_remote(deadline, session_key=source)
+        if remote is None:
+            conn.close()
+            self._release(session, succeeded=False)
+            return
+        codec = self.agility.codec
+        open_length = 24 + codec.pad_length(24)
+        open_meta: t.Tuple = ("sc-open", hostname, target_port)
+        if deadline is not None:
+            open_meta = open_meta + (deadline.at,)
+        length, meta = first_frame
+        yield self.cpu.submit(PER_BYTE_DEMAND * length)
+        padded = length + 4 + codec.pad_length(length)
+        try:
+            remote.send_message(
+                open_length,
+                meta=blind_wrap(self.agility.epoch, 24, open_meta),
+                features=codec.features())
+            remote.send_message(
+                padded, meta=blind_wrap(self.agility.epoch, length, meta),
+                features=codec.features())
+        except TransportError:
+            remote.close()
+            conn.close()
+            self._release(session, succeeded=False)
+            self._release_route(source)
+            return
+        up = self.sim.process(self._pump_to_remote(conn, remote),
+                              name="scd-up")
+        self.sim.process(self._pump_to_browser(conn, remote),
+                         name="scd-down")
+        if self.router is not None:
+            up.add_callback(lambda _event, k=source: self._release_route(k))
+        if session is not None:
+            up.add_callback(
+                lambda _event, s=session: self.admission.release(s))
+
     # -- pumps ----------------------------------------------------------------------------------
 
     def _pump_to_remote(self, browser: TcpConnection, remote: TcpConnection):
@@ -416,3 +722,140 @@ class DomesticProxy:
             except TransportError:
                 remote.close()
                 return
+
+
+class _EdgeUpstream:
+    """Domestic-side handle on one lazily-dialed blinded upstream leg.
+
+    Used only by the edge-cache path: misses flow through here toward
+    the remote proxy (and on to the origin) over the usual blinded
+    framing.  The proxy runs the origin TLS handshake itself — the
+    browser's handshake already terminated at the edge — and replays
+    one request/response at a time, which keeps the inbox bounded (the
+    per-connection serve loop is strictly sequential).
+    """
+
+    def __init__(self, proxy: DomesticProxy, remote: TcpConnection) -> None:
+        self.proxy = proxy
+        self.sim = proxy.sim
+        self.remote = remote
+        self.origin_ready = False
+        self._eof = False
+        self._inbox = Store(self.sim)
+        self.sim.process(self._pump(), name="scd-edge-up")
+
+    def close(self) -> None:
+        self.remote.close()
+
+    def send(self, length: int, meta: t.Any) -> None:
+        """Blind-wrap and send one frame toward the remote proxy."""
+        codec = self.proxy.agility.codec
+        padded = length + 4 + codec.pad_length(length)
+        self.remote.send_message(
+            padded,
+            meta=blind_wrap(self.proxy.agility.epoch, length, meta),
+            features=codec.features())
+
+    def recv(self):
+        """Generator: next ``(length, meta)`` frame; ``(0, None)`` at EOF."""
+        if self._eof:
+            ready, item = self._inbox.get_nowait()
+            if ready and item[1] is not None:
+                return item
+            return (0, None)
+        item = yield self._inbox.get()
+        return item
+
+    def _pump(self):
+        proxy = self.proxy
+        while True:
+            try:
+                message = yield self.remote.recv_message()
+            except TransportError:
+                message = None
+            if message is None:
+                self._eof = True
+                # Single EOF sentinel, then the pump exits.
+                self._inbox.put((0, None))  # reprolint: disable=unbounded-queue
+                return
+            unwrapped = blind_unwrap(message, proxy.agility.epoch)
+            if unwrapped is None:
+                continue
+            length, meta = unwrapped
+            if meta == ("sc-ready",):
+                continue  # pipelined-open ack; the edge has no use for it
+            if meta == ("sc-error",):
+                self._eof = True
+                self._inbox.put((0, None))  # reprolint: disable=unbounded-queue
+                self.remote.close()
+                return
+            # One request/response in flight per serve loop keeps this
+            # bounded at a handful of handshake/response frames.
+            self._inbox.put((length, meta))  # reprolint: disable=unbounded-queue
+
+    def origin_handshake(self, hostname: str):
+        """Generator: the proxy-side TLS client handshake with the
+        origin, run through the relay.  Resumption uses the proxy's own
+        ticket set.  Returns True once established."""
+        if self.origin_ready:
+            return True
+        proxy = self.proxy
+        resumed = hostname in proxy._edge_tickets
+        yield proxy.cpu.submit(PER_BYTE_DEMAND * tls_sizes.CLIENT_HELLO)
+        try:
+            self.send(tls_sizes.CLIENT_HELLO,
+                      ("tls", "client-hello", hostname, resumed))
+        except TransportError:
+            return False
+        length, meta = yield from self.recv()
+        if not (isinstance(meta, tuple) and meta and meta[0] == "tls"):
+            return False
+        yield proxy.cpu.submit(PER_BYTE_DEMAND * length)
+        yield proxy.cpu.submit(
+            PER_BYTE_DEMAND * tls_sizes.CLIENT_KEY_EXCHANGE_FINISHED)
+        try:
+            self.send(tls_sizes.CLIENT_KEY_EXCHANGE_FINISHED,
+                      ("tls", "client-finished"))
+        except TransportError:
+            return False
+        if not resumed:
+            length, meta = yield from self.recv()
+            if not (isinstance(meta, tuple) and len(meta) >= 2
+                    and meta[0] == "tls" and meta[1] == "server-finished"):
+                return False
+            yield proxy.cpu.submit(PER_BYTE_DEMAND * length)
+        proxy._edge_tickets.add(hostname)
+        self.origin_ready = True
+        return True
+
+    def fetch(self, request: HttpRequest, wrapped: bool):
+        """Generator: one origin round trip.
+
+        Returns ``(response, wire_length)`` — the length the response
+        occupies on the browser leg — or None on a dead upstream.
+        """
+        if wrapped:
+            records = max(1, (request.size() + 16383) // 16384)
+            length = request.size() + records * tls_sizes.RECORD_OVERHEAD
+            meta: t.Any = ("tls-app", request)
+        else:
+            length = request.size()
+            meta = request
+        try:
+            self.send(length, meta)
+        except TransportError:
+            return None
+        proxy = self.proxy
+        while True:
+            rlength, rmeta = yield from self.recv()
+            if rmeta is None:
+                return None
+            yield proxy.cpu.submit(PER_BYTE_DEMAND * rlength)
+            if wrapped:
+                if (isinstance(rmeta, tuple) and len(rmeta) == 2
+                        and rmeta[0] == "tls-app"
+                        and isinstance(rmeta[1], HttpResponse)):
+                    return rmeta[1], rlength
+            elif isinstance(rmeta, HttpResponse):
+                return rmeta, rlength
+            # Stray frame (late handshake ack, keepalive noise): skip.

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import typing as t
 
+from ..cache import CacheConfig, CacheRegistry, ResponseCache
 from ..dns import StubResolver
 from ..errors import MiddlewareError, OverloadError, TransportError
 from ..faults import RetryPolicy
@@ -139,12 +140,20 @@ class ScholarCloud(AccessMethod):
 
     def __init__(self, testbed, whitelist: t.Optional[Whitelist] = None,
                  secret: bytes = b"scholarcloud-2016",
-                 overload: t.Optional[OverloadConfig] = None) -> None:
+                 overload: t.Optional[OverloadConfig] = None,
+                 cache: t.Optional[CacheConfig] = None) -> None:
         super().__init__(testbed)
         self.whitelist = whitelist if whitelist is not None else scholar_whitelist()
         #: Overload-protection knobs for both proxies (None = off, the
         #: calibrated paper configuration).
         self.overload = overload
+        #: Edge-cache knobs (None = no caches, the calibrated paper
+        #: configuration; see :mod:`repro.cache`).
+        self.cache_config = cache
+        #: Edge tier at the domestic proxy, built by :meth:`deploy`.
+        self.cache: t.Optional[ResponseCache] = None
+        #: Optional second tier, one per remote proxy.
+        self.remote_caches: t.List[ResponseCache] = []
         self.agility = BlindingAgility(secret)
         self.domestic: t.Optional[DomesticProxy] = None
         self.remote: t.Optional[RemoteProxy] = None
@@ -173,22 +182,38 @@ class ScholarCloud(AccessMethod):
         """
         from ..measure.testbed import GOOGLE_DNS_ADDR
         testbed = self.testbed
+        registry: t.Optional[CacheRegistry] = None
+        if self.cache_config is not None:
+            registry = getattr(testbed.sim, "caches", None)
+            if registry is None:
+                registry = CacheRegistry(testbed.sim).install()
         if not self.remotes:
             remote_vms = getattr(testbed, "remote_vms", [testbed.remote_vm])
             remote_cpus = getattr(testbed, "remote_cpus", [testbed.remote_cpu])
-            for vm, cpu in zip(remote_vms, remote_cpus):
+            for index, (vm, cpu) in enumerate(zip(remote_vms, remote_cpus)):
                 resolver = StubResolver(testbed.sim, vm,
                                         upstream=GOOGLE_DNS_ADDR, port=5362)
+                tier2: t.Optional[ResponseCache] = None
+                if registry is not None and self.cache_config.remote_tier:
+                    tier2 = registry.register(ResponseCache(
+                        testbed.sim, self.cache_config, self.agility,
+                        name=f"sc-remote-{index}"))
+                    self.remote_caches.append(tier2)
                 self.remotes.append(RemoteProxy(
                     testbed.sim, vm, resolver, cpu=cpu, agility=self.agility,
-                    overload=self.overload))
+                    overload=self.overload, cache=tier2))
             self.remote = self.remotes[0]
         if self.domestic is None:
+            if registry is not None and self.cache is None:
+                self.cache = registry.register(ResponseCache(
+                    testbed.sim, self.cache_config, self.agility,
+                    name="sc-edge"))
             self.domestic = DomesticProxy(
                 testbed.sim, testbed.domestic_vm,
                 remote_addrs=[proxy.host.address for proxy in self.remotes],
                 whitelist=self.whitelist, agility=self.agility,
-                cpu=testbed.domestic_cpu, overload=self.overload)
+                cpu=testbed.domestic_cpu, overload=self.overload,
+                cache=self.cache)
         self.pac = PacFile(self.whitelist, str(self.domestic_addr),
                            self.domestic_port)
         self.deployed = True
@@ -250,6 +275,12 @@ class ScholarCloud(AccessMethod):
             # Blinded legs calibrated under the old codec epoch must
             # re-prove themselves against the GFW at packet level.
             fluid.defluidize_all("blinding-rotation")
+        for cache in ([self.cache] if self.cache is not None else []) \
+                + self.remote_caches:
+            # Entries are keyed by epoch, so stale hits are impossible
+            # even without this purge — but dead bytes must not pin the
+            # watermark either, so old-epoch entries are dropped eagerly.
+            cache.invalidate_all("blinding-rotation")
         return self.agility.epoch
 
     def teardown(self) -> None:

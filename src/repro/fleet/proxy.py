@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import typing as t
 
+from ..cache import CacheConfig, CacheRegistry, ResponseCache
 from ..core import (
     BlindingAgility,
     DOMESTIC_PROXY_PORT,
@@ -68,6 +69,7 @@ class ProxyFleet:
         reinstate_threshold: int = 2,
         routing: str = "rendezvous",
         hedged: bool = False,
+        cache: t.Optional[CacheConfig] = None,
     ) -> None:
         """``routing`` selects the session router's policy
         (``"rendezvous"`` or ``"least_loaded"``); ``reinstate_threshold``
@@ -75,7 +77,11 @@ class ProxyFleet:
         gives every regional domestic proxy a
         :class:`~repro.fleet.survival.HedgedDialer` so slow transpacific
         dials race a second CLOSED-breaker endpoint (off by default:
-        historical traces stay byte-identical)."""
+        historical traces stay byte-identical); ``cache`` deploys one
+        edge :class:`~repro.cache.ResponseCache` per regional front
+        door (plus one tier-2 cache per PoP with ``remote_tier`` on) —
+        None, the default, keeps the fleet cacheless and byte-identical
+        to the historical traces."""
         self.testbed = testbed
         self.whitelist = whitelist if whitelist is not None else scholar_whitelist()
         self.agility = BlindingAgility(secret)
@@ -86,8 +92,15 @@ class ProxyFleet:
         self.reinstate_threshold = reinstate_threshold
         self.routing = routing
         self.hedged = hedged
+        self.cache_config = cache
+        #: Per-region edge caches, keyed like :attr:`domestics`.
+        #: Key space = the testbed's region set, fixed at launch().
+        self.caches: t.Dict[str, ResponseCache] = {}  # reprolint: disable=unbounded-cache-field
+        #: Per-PoP second-tier caches (``remote_tier`` only).
+        self.pop_caches: t.List[ResponseCache] = []
         self.remotes: t.List[RemoteProxy] = []
-        self.domestics: t.Dict[str, DomesticProxy] = {}
+        #: Key space = the testbed's region set, fixed at launch().
+        self.domestics: t.Dict[str, DomesticProxy] = {}  # reprolint: disable=unbounded-cache-field
         self.router: t.Optional[SessionRouter] = None
         self.detector: t.Optional[FailureDetector] = None
         self.endpoints: t.List[Endpoint] = []
@@ -100,12 +113,23 @@ class ProxyFleet:
         testbed = self.testbed
         sim = testbed.sim
         if not self.launched:
+            registry: t.Optional[CacheRegistry] = None
+            if self.cache_config is not None:
+                registry = getattr(sim, "caches", None)
+                if registry is None:
+                    registry = CacheRegistry(sim).install()
             for pop, cpu in zip(testbed.pops, testbed.pop_cpus):
                 resolver = StubResolver(sim, pop, upstream=GOOGLE_DNS_ADDR,
                                         port=5362)
+                tier2: t.Optional[ResponseCache] = None
+                if registry is not None and self.cache_config.remote_tier:
+                    tier2 = registry.register(ResponseCache(
+                        sim, self.cache_config, self.agility,
+                        name=f"pop-{pop.name}"))
+                    self.pop_caches.append(tier2)
                 self.remotes.append(RemoteProxy(
                     sim, pop, resolver, cpu=cpu, agility=self.agility,
-                    overload=self.overload))
+                    overload=self.overload, cache=tier2))
             self.endpoints = [
                 Endpoint(IPv4Address(pop.address), REMOTE_PROXY_PORT,
                          name=pop.name)
@@ -126,12 +150,18 @@ class ProxyFleet:
                 from .survival import HedgedDialer
                 hedge = HedgedDialer(sim)
             for region in testbed.regions:
+                edge: t.Optional[ResponseCache] = None
+                if registry is not None:
+                    edge = registry.register(ResponseCache(
+                        sim, self.cache_config, self.agility,
+                        name=f"edge-{region.name}"))
+                    self.caches[region.name] = edge
                 self.domestics[region.name] = DomesticProxy(
                     sim, region.domestic_vm,
                     remote_addrs=[str(e.address) for e in self.endpoints],
                     whitelist=self.whitelist, agility=self.agility,
                     cpu=region.domestic_cpu, overload=self.overload,
-                    router=self.router, hedge=hedge)
+                    router=self.router, hedge=hedge, cache=edge)
             self.launched = True
         return
         yield  # pragma: no cover - launch is currently synchronous

@@ -30,6 +30,16 @@ class RegionReport:
     failovers: int
     #: Sessions forcibly re-bound to a different PoP.
     remaps: int
+    #: Survival-layer counters: sessions migrated *away from* this
+    #: region, and sessions lost while bound here (zero outside
+    #: migration campaigns).
+    migrations: int = 0
+    sessions_lost: int = 0
+    #: Edge-cache counters for this region's front door (zero when the
+    #: fleet runs cacheless).
+    cache_lookups: int = 0
+    cache_hits: int = 0
+    transpacific_bytes_avoided: int = 0
 
     @property
     def attempts(self) -> int:
@@ -38,6 +48,11 @@ class RegionReport:
     @property
     def success_rate(self) -> float:
         return self.completed / self.attempts if self.attempts else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return (self.cache_hits / self.cache_lookups
+                if self.cache_lookups else 0.0)
 
 
 @dataclass(frozen=True)
@@ -67,6 +82,24 @@ class FleetReport:
     def total_remaps(self) -> int:
         return sum(region.remaps for region in self.regions)
 
+    @property
+    def total_cache_lookups(self) -> int:
+        return sum(region.cache_lookups for region in self.regions)
+
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(region.cache_hits for region in self.regions)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.total_cache_lookups
+        return self.total_cache_hits / lookups if lookups else 0.0
+
+    @property
+    def total_transpacific_avoided(self) -> int:
+        return sum(region.transpacific_bytes_avoided
+                   for region in self.regions)
+
     def availability_dip(self) -> float:
         """Worst fleet-wide bucket rate below the best observed rate.
 
@@ -94,10 +127,17 @@ class FleetReport:
         """The plain-text artifact: one block per region, then the fleet."""
         lines: t.List[str] = ["fleet availability report", ""]
         for region in self.regions:
-            lines.append(
+            line = (
                 f"region {region.region}: {region.completed}/"
                 f"{region.attempts} ({region.success_rate:.1%}), "
                 f"failovers={region.failovers} remaps={region.remaps}")
+            if region.cache_lookups:
+                line += (f" cache-hit-rate={region.cache_hit_rate:.1%}"
+                         f" avoided={region.transpacific_bytes_avoided}B")
+            if region.migrations or region.sessions_lost:
+                line += (f" migrations={region.migrations}"
+                         f" lost={region.sessions_lost}")
+            lines.append(line)
             lines.append(f"  {region.series}")
         lines.append("")
         lines.append(
@@ -105,6 +145,11 @@ class FleetReport:
             f"recovered={self.recovered()} "
             f"failovers={self.total_failovers} remaps={self.total_remaps} "
             f"evictions={self.evictions} reinstatements={self.reinstatements}")
+        if self.total_cache_lookups:
+            lines.append(
+                f"  cache: hit-rate={self.cache_hit_rate:.1%} "
+                f"({self.total_cache_hits}/{self.total_cache_lookups}) "
+                f"transpacific-avoided={self.total_transpacific_avoided}B")
         if self.migrations or self.sessions_lost:
             lines.append(
                 f"  survival: migrations={self.migrations} "

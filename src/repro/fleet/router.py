@@ -299,8 +299,9 @@ class FailureDetector:
         #: the next flap would evict again.
         self.reinstate_threshold = reinstate_threshold
         self.rng = rng if rng is not None else sim.rng.stream("fleet.detector")
-        self.suspicion: t.Dict[Endpoint, int] = {}
-        self.healthy_streak: t.Dict[Endpoint, int] = {}
+        # Key space = the router's endpoint set, fixed at fleet launch.
+        self.suspicion: t.Dict[Endpoint, int] = {}  # reprolint: disable=unbounded-cache-field
+        self.healthy_streak: t.Dict[Endpoint, int] = {}  # reprolint: disable=unbounded-cache-field
         self.probes_sent = 0
         #: (time, endpoint, verdict) — every probe outcome, in order.
         self.log: t.List[t.Tuple[float, str, str]] = []

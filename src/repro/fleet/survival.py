@@ -375,13 +375,18 @@ class SurvivalCoordinator:
         #: (time, region, score) — every health sample, in order.
         self.health_log: t.List[t.Tuple[float, str, float]] = []
         self.migrations = 0
-        self._migrations_by_session: t.Dict[str, int] = {}
+        # Per-session migration record: queried post-campaign via
+        # migrations_of(), so it survives session end by contract —
+        # one int per session, durable output like the event log.
+        self._migrations_by_session: t.Dict[str, int] = {}  # reprolint: disable=unbounded-cache-field
         self._degraded: t.Dict[str, bool] = {
             name: False for name in self.entries}
-        self._healthy_streak: t.Dict[str, int] = {}
-        self._last_score: t.Dict[str, float] = {}
-        self._last_gfw: t.Dict[str, t.Tuple[int, int]] = {}
-        self._last_admission: t.Dict[str, t.Tuple[int, int]] = {}
+        # Health trackers: key space = the fleet's region set, fixed
+        # at construction — one entry per region, updated in place.
+        self._healthy_streak: t.Dict[str, int] = {}  # reprolint: disable=unbounded-cache-field
+        self._last_score: t.Dict[str, float] = {}  # reprolint: disable=unbounded-cache-field
+        self._last_gfw: t.Dict[str, t.Tuple[int, int]] = {}  # reprolint: disable=unbounded-cache-field
+        self._last_admission: t.Dict[str, t.Tuple[int, int]] = {}  # reprolint: disable=unbounded-cache-field
         self._checkpoints: t.Dict[str, ResumeToken] = {}
         self._monitor: t.Optional[t.Any] = None
 
@@ -400,6 +405,18 @@ class SurvivalCoordinator:
 
     def resume_token(self, session: str) -> t.Optional[ResumeToken]:
         return self._checkpoints.get(session)
+
+    def forget(self, key: str) -> None:
+        """A session ended: drop its resume checkpoint.
+
+        Session keys are unique per (client, cycle) and never reused,
+        so the checkpoint table would otherwise hold a dead
+        :class:`ResumeToken` per session for the whole campaign.  The
+        migration record (:meth:`migrations_of`) deliberately survives
+        — it is part of the campaign's queryable output, like the
+        event log.
+        """
+        self._checkpoints.pop(key, None)
 
     # -- health monitoring -------------------------------------------------------
 
@@ -560,7 +577,9 @@ class SurvivalSession:
         self.lost = False
         #: Region the last successful stream ran through.
         self.region: t.Optional[str] = None
-        self._connectors: t.Dict[str, t.Any] = {}
+        # Key space = the fleet's region set; the session itself is
+        # short-lived (one download), so this never outlives a load.
+        self._connectors: t.Dict[str, t.Any] = {}  # reprolint: disable=unbounded-cache-field
 
     # -- plumbing ----------------------------------------------------------------
 
@@ -726,6 +745,7 @@ class SurvivalSession:
         coordinator.record("session-complete", session=self.key,
                            region=current if current is not None else self.home,
                            detail=(token.offset,))
+        coordinator.forget(self.key)
         self.completed = True
         return True
 
@@ -733,6 +753,7 @@ class SurvivalSession:
         self.coordinator.record("session-lost", session=self.key,
                                 region=self.home,
                                 detail=(reason, token.offset))
+        self.coordinator.forget(self.key)
         self.lost = True
         return False
 

@@ -25,9 +25,10 @@ import hashlib
 import typing as t
 from dataclasses import dataclass
 
+from ..cache import CacheConfig
 from ..errors import MeasurementError
 from ..http import Browser
-from ..measure.metrics import availability_over_time
+from ..measure.metrics import CacheReport, availability_over_time
 from ..perf.runner import SweepPoint, run_points
 from .chaos import FleetSchedule
 from .proxy import ProxyFleet
@@ -65,6 +66,11 @@ class FleetRegionResult:
     assignment_digest: str
     #: Fault injector timeline, when a campaign ran.
     timeline: t.Tuple[t.Tuple[float, str, str, str], ...] = ()
+    #: Survival-layer counters (zero outside migration campaigns).
+    migrations: int = 0
+    sessions_lost: int = 0
+    #: This region's edge-cache report (None when run cacheless).
+    cache: t.Optional[CacheReport] = None
 
     @property
     def attempts(self) -> int:
@@ -93,13 +99,16 @@ def run_fleet_region_point(
     blackout_pop: t.Optional[str] = None,
     blackout_at: float = 90.0,
     blackout_downtime: float = 60.0,
+    cache: t.Optional[CacheConfig] = None,
 ) -> FleetRegionResult:
     """One region's campaign: ``clients`` sessions against M PoPs.
 
     ``workload`` picks the page each client loads: ``"home"`` (the
-    19 KB Scholar home page) or ``"pdf"`` (a 1.2 MB paper download,
+    19 KB Scholar home page), ``"pdf"`` (a 1.2 MB paper download,
     which makes the PoP CPUs the bottleneck — the regime where goodput
-    scales with PoP count).  With ``blackout_pop`` set, that PoP
+    scales with PoP count), or ``"queries"`` (Zipf-repeated Scholar
+    result pages from :mod:`repro.cache`'s corpus — the workload an
+    edge ``cache`` pays off on).  With ``blackout_pop`` set, that PoP
     blacks out mid-sweep for ``blackout_downtime`` seconds — the
     detector evicts it, its sessions fail over (rendezvous
     re-ranking), and reinstatement follows its restart.  Hermetic and
@@ -111,7 +120,7 @@ def run_fleet_region_point(
     spec = region_by_name(region)
     testbed = FleetTestbed(seed=seed, regions=[spec], pops=pops,
                            clients_per_region=clients, fluid=mode)
-    fleet = ProxyFleet(testbed)
+    fleet = ProxyFleet(testbed, cache=cache)
     testbed.run_process(fleet.launch(), name="fleet-launch")
     if blackout_pop is not None:
         schedule = FleetSchedule()
@@ -121,12 +130,22 @@ def run_fleet_region_point(
     else:
         injector = None
 
+    pick_page: t.Callable[[], t.Any]
     if workload == "home":
-        page = testbed.scholar_page
+        pick_page = lambda: testbed.scholar_page
     elif workload == "pdf":
         from ..http import scholar_pdf
         page = scholar_pdf()
         testbed.scholar_server.add_page(page)
+        pick_page = lambda: page
+    elif workload == "queries":
+        from ..cache import DEFAULT_ZIPF_S, ZipfSampler, query_corpus
+        corpus = query_corpus()
+        for query_page in corpus:
+            testbed.scholar_server.add_page(query_page)
+        sampler = ZipfSampler(len(corpus), s=DEFAULT_ZIPF_S)
+        zipf_rng = testbed.rng.stream("cache.zipf")
+        pick_page = lambda: corpus[sampler.sample(zipf_rng)]
     else:
         raise MeasurementError(f"unknown workload {workload!r}")
     samples: t.List[t.Tuple[float, bool]] = []
@@ -136,10 +155,12 @@ def run_fleet_region_point(
         browser = Browser(sim, connector, name=f"browser-{host.name}")
         yield sim.timeout(offset)
         # Warm-up load: populate caches/tickets, then measure.
-        yield sim.process(browser.load(page))
+        yield sim.process(browser.load(testbed.scholar_page
+                                       if workload == "queries"
+                                       else pick_page()))
         for _ in range(cycles):
             yield sim.timeout(MEASUREMENT_INTERVAL)
-            result = yield sim.process(browser.load(page))
+            result = yield sim.process(browser.load(pick_page()))
             samples.append((sim.now, result.succeeded))
 
     rng = testbed.rng.stream("fleet.offsets")
@@ -156,6 +177,7 @@ def run_fleet_region_point(
     assert router is not None
     domestic = fleet.domestics[region]
     completed = sum(1 for _, succeeded in samples if succeeded)
+    edge_cache = fleet.caches.get(region)
     return FleetRegionResult(
         region=region, pops=pops, clients=clients, seed=seed, mode=mode,
         completed=completed, failed=len(samples) - completed,
@@ -164,7 +186,8 @@ def run_fleet_region_point(
         evictions=router.evictions, reinstatements=router.reinstatements,
         events=tuple(router.events),
         assignment_digest=_assignment_digest(router.assignment()),
-        timeline=tuple(injector.timeline) if injector is not None else ())
+        timeline=tuple(injector.timeline) if injector is not None else (),
+        cache=edge_cache.report() if edge_cache is not None else None)
 
 
 # -- sweep grids ---------------------------------------------------------------
@@ -181,25 +204,32 @@ def fleet_points(
     blackout_pop: t.Optional[str] = None,
     blackout_at: float = 90.0,
     blackout_downtime: float = 60.0,
+    cache: t.Optional[CacheConfig] = None,
 ) -> t.List[SweepPoint]:
     """One sweep point per region (the fleet fan-out grid).
 
-    A non-default ``workload`` is folded into the label so mixed
-    grids stay uniquely keyed.
+    A non-default ``workload`` (and a non-None ``cache``) is folded
+    into the label so mixed grids stay uniquely keyed.
     """
+    def label_for(region: str) -> t.Tuple:
+        label: t.Tuple = (region, int(pops), int(clients), int(seed), mode)
+        if workload != "home":
+            label = label + (workload,)
+        if cache is not None:
+            label = label + ("cache",)
+        return label
+
     return [
         SweepPoint(
-            label=((region, int(pops), int(clients), int(seed), mode)
-                   if workload == "home" else
-                   (region, int(pops), int(clients), int(seed), mode,
-                    workload)),
+            label=label_for(region),
             function=run_fleet_region_point,
             kwargs={"region": region, "pops": int(pops),
                     "clients": int(clients), "cycles": cycles, "seed": seed,
                     "mode": mode, "workload": workload,
                     "blackout_pop": blackout_pop,
                     "blackout_at": blackout_at,
-                    "blackout_downtime": blackout_downtime})
+                    "blackout_downtime": blackout_downtime,
+                    "cache": cache})
         for region in regions
     ]
 
@@ -216,14 +246,25 @@ def aggregate_fleet(results: t.Sequence[FleetRegionResult],
             series=availability_over_time(list(result.samples), bucket,
                                           horizon=horizon),
             completed=result.completed, failed=result.failed,
-            failovers=result.failovers, remaps=result.remaps)
+            failovers=result.failovers, remaps=result.remaps,
+            migrations=result.migrations,
+            sessions_lost=result.sessions_lost,
+            cache_lookups=(result.cache.lookups
+                           if result.cache is not None else 0),
+            cache_hits=(result.cache.hits
+                        if result.cache is not None else 0),
+            transpacific_bytes_avoided=(
+                result.cache.transpacific_bytes_avoided
+                if result.cache is not None else 0))
         for result in results)
     events = tuple(sorted(
         (event for result in results for event in result.events)))
     return FleetReport(
         regions=regions, events=events,
         evictions=sum(result.evictions for result in results),
-        reinstatements=sum(result.reinstatements for result in results))
+        reinstatements=sum(result.reinstatements for result in results),
+        migrations=sum(result.migrations for result in results),
+        sessions_lost=sum(result.sessions_lost for result in results))
 
 
 def fleet_sweep(
@@ -240,6 +281,7 @@ def fleet_sweep(
     blackout_at: float = 90.0,
     blackout_downtime: float = 60.0,
     bucket: float = REPORT_BUCKET,
+    cache: t.Optional[CacheConfig] = None,
 ) -> t.Tuple[FleetReport, t.List[FleetRegionResult]]:
     """Run the fleet campaign; returns ``(report, per-region results)``.
 
@@ -252,6 +294,50 @@ def fleet_sweep(
                           seed=seed, mode=mode, workload=workload,
                           blackout_pop=blackout_pop,
                           blackout_at=blackout_at,
-                          blackout_downtime=blackout_downtime)
+                          blackout_downtime=blackout_downtime,
+                          cache=cache)
     results = run_points(points, workers=workers, parallel=parallel)
     return aggregate_fleet(results, bucket=bucket), list(results)
+
+
+def survival_fleet_report(campaign, bucket: float = REPORT_BUCKET,
+                          ) -> FleetReport:
+    """Fold a survival campaign into the fleet availability report.
+
+    Gives migration campaigns the same operator-facing artifact the
+    blackout sweeps get, with the survival counters attributed
+    per region: ``migrations`` to the region a session moved *away
+    from*, ``sessions_lost`` to the region the session was bound to
+    when it died.  ``campaign`` is a
+    :class:`~repro.fleet.survival.SurvivalCampaignResult`.
+    """
+    horizon = campaign.duration
+    samples: t.Dict[str, t.List[t.Tuple[float, bool]]] = {
+        region: [] for region in campaign.regions}
+    migrations: t.Dict[str, int] = {region: 0 for region in campaign.regions}
+    lost: t.Dict[str, int] = {region: 0 for region in campaign.regions}
+    for event in campaign.events:
+        if event.kind in ("session-complete", "session-lost"):
+            samples.setdefault(event.region, []).append(
+                (event.time, event.kind == "session-complete"))
+            if event.kind == "session-lost":
+                lost[event.region] = lost.get(event.region, 0) + 1
+        elif event.kind == "migrate":
+            # detail = (from_region, to_region, resume_offset)
+            source = event.detail[0]
+            migrations[source] = migrations.get(source, 0) + 1
+    regions = tuple(
+        RegionReport(
+            region=region,
+            series=availability_over_time(samples.get(region, []), bucket,
+                                          horizon=horizon),
+            completed=sum(1 for _, ok in samples.get(region, []) if ok),
+            failed=sum(1 for _, ok in samples.get(region, []) if not ok),
+            failovers=0, remaps=0,
+            migrations=migrations.get(region, 0),
+            sessions_lost=lost.get(region, 0))
+        for region in campaign.regions)
+    return FleetReport(
+        regions=regions,
+        migrations=campaign.migrations,
+        sessions_lost=campaign.lost)

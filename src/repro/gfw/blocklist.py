@@ -29,7 +29,9 @@ class BlockPolicy:
         self._keywords: t.Set[str] = set()
         self._keyword_pattern: t.Optional[t.Pattern[str]] = None
         #: Per-traffic-class interference loss rates (0 disables).
-        self.class_interference: t.Dict[str, float] = {}
+        #: Key space = the DPI classifier label vocabulary (a handful
+        #: of fixed strings), set by operator policy, not by traffic.
+        self.class_interference: t.Dict[str, float] = {}  # reprolint: disable=unbounded-cache-field
         #: Traffic classes answered with forged RSTs instead of loss.
         self.rst_classes: t.Set[str] = set()
 

@@ -120,6 +120,11 @@ class GreatFirewall(Middlebox):
             # Fluidized flows were vetted against the *old* policy;
             # force them back to packet level to re-prove themselves.
             fluid.on_policy_change(label)
+        caches = getattr(self.sim, "caches", None)
+        if caches is not None:
+            # Cached responses were fetched under the *old* policy; a
+            # change in what is reachable must not be masked by a hit.
+            caches.on_policy_change(label)
         self.policy_log.append((self.sim.now, label))
         self._trace_plain("gfw.policy-change", label=label)
 
@@ -288,6 +293,9 @@ class GreatFirewall(Middlebox):
         fluid = getattr(self.sim, "fluid", None)
         if fluid is not None:
             fluid.on_policy_change("probe-confirmed")
+        caches = getattr(self.sim, "caches", None)
+        if caches is not None:
+            caches.on_policy_change("probe-confirmed")
         self._trace_plain("gfw.probe-confirmed", address=address)
 
     # -- tracing -------------------------------------------------------------------------------

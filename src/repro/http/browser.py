@@ -48,6 +48,13 @@ class PageLoadResult:
     app_bytes: int
     connections_opened: int
     error: t.Optional[str] = None
+    #: Objects answered by an edge cache (``HttpResponse.from_cache``).
+    cache_hits: int = 0
+
+    @property
+    def all_from_cache(self) -> bool:
+        """Every fetched object was served from an edge cache."""
+        return self.objects_fetched > 0 and self.cache_hits == self.objects_fetched
 
     @property
     def succeeded(self) -> bool:
@@ -131,7 +138,8 @@ class Browser:
         """Generator process: load ``page``; returns PageLoadResult."""
         started = self.sim.now
         first_visit = page.url not in self._visited
-        counters = {"bytes": 0, "objects": 0, "connections": 0}
+        counters = {"bytes": 0, "objects": 0, "connections": 0,
+                    "cache_hits": 0}
         try:
             document = yield from self._load_document(page, first_visit, counters)
             yield self.sim.timeout(page.parse_time)
@@ -148,6 +156,7 @@ class Browser:
             app_bytes=counters["bytes"],
             connections_opened=counters["connections"],
             error=error,
+            cache_hits=counters["cache_hits"],
         )
         if error is None:
             self._visited.add(page.url)
@@ -259,6 +268,8 @@ class Browser:
                     continue
                 counters["bytes"] += request.size() + response.size()
                 counters["objects"] += 1
+                if getattr(response, "from_cache", False):
+                    counters["cache_hits"] += 1
                 self._checkin(origin, stream)
                 return response
         finally:

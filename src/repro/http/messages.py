@@ -48,6 +48,9 @@ class HttpResponse:
     #: True when the origin wants the client to open the side channel
     #: that records client IP + account (the paper's TCP 4).
     record_account: bool = False
+    #: True when an edge cache served this response without touching
+    #: the origin (set by the proxy, read by the browser's counters).
+    from_cache: bool = False
 
     def size(self) -> int:
         return RESPONSE_HEADER_SIZE + self.body_size

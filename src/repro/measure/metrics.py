@@ -139,6 +139,57 @@ class OverloadReport:
                 f"qdelay p95={self.queue_delay(0.95):.3f}s")
 
 
+@dataclass(frozen=True)
+class CacheReport:
+    """One edge-cache tier's hit/miss/coherence summary.
+
+    Built by :meth:`repro.cache.ResponseCache.report`; the optional
+    PLT summaries split page loads by whether every object came from
+    the cache (the headline hit-vs-miss latency comparison).
+    """
+
+    hits: int
+    misses: int
+    insertions: int
+    evictions: int
+    expirations: int
+    invalidations: int
+    #: Live occupancy at report time.
+    entries: int
+    bytes_in_cache: int
+    #: Response bytes served from the cache (browser-leg wire bytes).
+    bytes_served: int
+    #: Blinded transpacific bytes (request + response frames) that hits
+    #: did not put on the border link.
+    transpacific_bytes_avoided: int
+    #: PLT of loads served entirely from cache / with at least one miss.
+    plt_hit: t.Optional[Summary] = None
+    plt_miss: t.Optional[Summary] = None
+    #: Streaming digest of the event sequence (determinism assertions).
+    event_digest: str = ""
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup; 0.0 when nothing was looked up."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        line = (f"lookups={self.lookups} hits={self.hits} "
+                f"({self.hit_rate:.0%}) evict={self.evictions} "
+                f"expire={self.expirations} "
+                f"invalidate={self.invalidations} "
+                f"served={self.bytes_served}B "
+                f"transpacific_avoided={self.transpacific_bytes_avoided}B")
+        if self.plt_hit is not None and self.plt_miss is not None:
+            line += (f" plt(hit)p50={self.plt_hit.p50:.3f}s"
+                     f" plt(miss)p50={self.plt_miss.p50:.3f}s")
+        return line
+
+
 #: Region-health component weights.  Breaker state dominates: an open
 #: breaker means live dials are failing *now*, while shed and
 #: interference rates are leading indicators of pressure.  A full

@@ -24,10 +24,12 @@ from ..middleware import (
     ShadowsocksMethod,
     TorMethod,
 )
+from ..cache import CacheConfig
 from ..faults import FaultSchedule, standard_fault_script
 from ..overload import OverloadConfig
 from .metrics import (
     Availability,
+    CacheReport,
     OverloadReport,
     Summary,
     availability,
@@ -43,7 +45,8 @@ MEASUREMENT_INTERVAL = 60.0
 
 
 def build_method(testbed: Testbed, name: str,
-                 overload: t.Optional[OverloadConfig] = None):
+                 overload: t.Optional[OverloadConfig] = None,
+                 cache: t.Optional[CacheConfig] = None):
     """Instantiate (but not set up) an access method by name."""
     factories = {
         "direct": DirectMethod,
@@ -57,10 +60,13 @@ def build_method(testbed: Testbed, name: str,
     if factory is None:
         raise MeasurementError(f"unknown access method {name!r}")
     if name == "scholarcloud":
-        return ScholarCloud(testbed, overload=overload)
+        return ScholarCloud(testbed, overload=overload, cache=cache)
     if overload is not None:
         raise MeasurementError(
             f"{name} has no overload-protection layer to configure")
+    if cache is not None:
+        raise MeasurementError(
+            f"{name} has no edge-cache layer to configure")
     return factory(testbed)
 
 
@@ -76,10 +82,11 @@ class MethodWorld:
 
 def prepare(name: str, seed: int = 0,
             overload: t.Optional[OverloadConfig] = None,
+            cache: t.Optional[CacheConfig] = None,
             **testbed_kwargs) -> MethodWorld:
     """Fresh testbed + method, set up and ready to measure."""
     testbed = Testbed(seed=seed, **testbed_kwargs)
-    method = build_method(testbed, name, overload=overload)
+    method = build_method(testbed, name, overload=overload, cache=cache)
     started = testbed.sim.now
     testbed.run_process(method.setup(), name=f"setup:{name}")
     setup_time = testbed.sim.now - started
@@ -382,6 +389,11 @@ class OverloadResult:
     #: The admission controller's full decision log, for
     #: seed-robustness assertions (empty with overload off).
     decisions: t.List[t.Tuple[float, str, str, int]]
+    #: Edge-cache report (None when the method has no cache deployed).
+    cache: t.Optional[CacheReport] = None
+    #: Total bytes that crossed the transpacific border link (both
+    #: directions) over the whole run, cache or no cache.
+    transpacific_bytes: int = 0
 
     @property
     def goodput(self) -> float:
@@ -477,4 +489,118 @@ def run_overload_point(method: str = "scholarcloud", clients: int = 60,
         method=method, clients=clients, completed=completed, failed=failed,
         client_sheds=client_sheds,
         plt=summarize(plts) if plts else None,
-        report=report, decisions=decisions)
+        report=report, decisions=decisions,
+        transpacific_bytes=sum(testbed.border_link.bytes_sent.values()))
+
+
+def run_repeated_query_point(method: str = "scholarcloud", clients: int = 60,
+                             cycles: int = 3, seed: int = 0,
+                             overload: t.Optional[OverloadConfig] = None,
+                             cache: t.Optional[CacheConfig] = None,
+                             total_deadline: t.Optional[float] = None,
+                             mode: str = "packet",
+                             corpus_size: t.Optional[int] = None,
+                             zipf_s: t.Optional[float] = None,
+                             ) -> OverloadResult:
+    """One repeated-query (scraper-shaped) workload point.
+
+    Models the deployment's dominant traffic per ROADMAP §4b: a small
+    corpus of popular Scholar queries hit over and over.  Each client
+    warms up on the home page, then per measurement cycle issues a
+    *burst* of 1–4 result-page loads (scraper sessions re-query in
+    runs), each page drawn Zipf-distributed from the corpus — so the
+    head queries repeat across clients and an edge cache can pay off.
+
+    The client driver keeps :func:`run_overload_point`'s discipline —
+    same ``scalability-offsets`` stream, same ``load-{index}`` process
+    names, same warm-up and 60 s cycle cadence — and draws all workload
+    randomness from the dedicated ``cache.zipf`` stream, so the arrival
+    schedule is comparable across ``cache=None`` / ``cache=...`` runs
+    and fully seed-deterministic.
+
+    Returns an :class:`OverloadResult` whose ``cache`` field carries
+    the edge :class:`~repro.measure.metrics.CacheReport` (with PLT
+    split into hit/miss loads) and whose ``transpacific_bytes`` counts
+    both directions of the border link.
+    """
+    from ..cache import DEFAULT_CORPUS, DEFAULT_ZIPF_S, ZipfSampler, query_corpus
+    world = prepare(method, seed=seed, overload=overload, cache=cache,
+                    extra_clients=clients, fluid=mode)
+    testbed = world.testbed
+    corpus = query_corpus(corpus_size if corpus_size is not None
+                          else DEFAULT_CORPUS)
+    for page in corpus:
+        testbed.scholar_server.add_page(page)
+    sampler = ZipfSampler(len(corpus), s=(zipf_s if zipf_s is not None
+                                          else DEFAULT_ZIPF_S))
+    zipf_rng = testbed.rng.stream("cache.zipf")
+    plts: t.List[float] = []
+    hit_plts: t.List[float] = []
+    miss_plts: t.List[float] = []
+    outcomes: t.List[t.Tuple[bool, t.Optional[str]]] = []
+
+    def client_loop(sim, host, offset):
+        connector = yield from world.method.attach_client(host)
+        browser = Browser(sim, connector, name=f"browser-{host.name}",
+                          total_deadline=total_deadline)
+        yield sim.timeout(offset)
+        # Warm-up: home page populates pools and session tickets.
+        yield sim.process(browser.load(testbed.scholar_page))
+        for _ in range(cycles):
+            yield sim.timeout(MEASUREMENT_INTERVAL)
+            for _query in range(sampler.burst_length(zipf_rng)):
+                page = corpus[sampler.sample(zipf_rng)]
+                result = yield sim.process(browser.load(page))
+                outcomes.append((result.succeeded, result.error))
+                if result.succeeded:
+                    plts.append(result.plt)
+                    if result.all_from_cache:
+                        hit_plts.append(result.plt)
+                    else:
+                        miss_plts.append(result.plt)
+                # Scraper think time between queries in a burst.
+                yield sim.timeout(1.0)
+
+    rng = testbed.rng.stream("scalability-offsets")
+    processes = []
+    for index, host in enumerate(testbed.extra_clients[:clients]):
+        offset = rng.uniform(0, MEASUREMENT_INTERVAL)
+        processes.append(testbed.sim.process(
+            client_loop(testbed.sim, host, offset), name=f"load-{index}"))
+    testbed.sim.run(until=testbed.sim.all_of(processes))
+
+    completed = sum(1 for succeeded, _ in outcomes if succeeded)
+    failed = len(outcomes) - completed
+    client_sheds = sum(1 for succeeded, error in outcomes
+                       if not succeeded and error is not None
+                       and error.startswith("OverloadError"))
+    offered = admitted = shed = deadline_drops = 0
+    queue_delays: t.Tuple[float, ...] = ()
+    decisions: t.List[t.Tuple[float, str, str, int]] = []
+    domestic = getattr(world.method, "domestic", None)
+    if domestic is not None:
+        deadline_drops = domestic.deadline_drops
+        if domestic.admission is not None:
+            admission = domestic.admission
+            offered = admission.offered
+            admitted = admission.admitted
+            shed = admission.shed
+            queue_delays = tuple(admission.queue_delays)
+            decisions = list(admission.decisions)
+    cache_report: t.Optional[CacheReport] = None
+    edge_cache = getattr(world.method, "cache", None)
+    if edge_cache is not None:
+        cache_report = edge_cache.report(
+            plt_hit=summarize(hit_plts) if hit_plts else None,
+            plt_miss=summarize(miss_plts) if miss_plts else None)
+    report = OverloadReport(
+        offered=offered, admitted=admitted, shed=shed,
+        deadline_drops=deadline_drops, completed=completed,
+        duration=testbed.sim.now, queue_delays=queue_delays)
+    return OverloadResult(
+        method=method, clients=clients, completed=completed, failed=failed,
+        client_sheds=client_sheds,
+        plt=summarize(plts) if plts else None,
+        report=report, decisions=decisions,
+        cache=cache_report,
+        transpacific_bytes=sum(testbed.border_link.bytes_sent.values()))

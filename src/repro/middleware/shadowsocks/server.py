@@ -71,7 +71,14 @@ class SsServer:
         return last is not None and (self.sim.now - last) <= self.keepalive
 
     def _touch(self, client: str) -> None:
-        self._sessions[client] = self.sim.now
+        # Prune sessions already past the keepalive window on the way
+        # in: ``session_alive`` treats them as dead either way, so this
+        # only bounds the table, it never changes an answer.
+        now = self.sim.now
+        for stale in [key for key, last in self._sessions.items()
+                      if now - last > self.keepalive]:
+            del self._sessions[stale]
+        self._sessions[client] = now
 
     # -- connection handling -----------------------------------------------------------
 

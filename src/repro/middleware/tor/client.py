@@ -148,7 +148,9 @@ class TorMethod(AccessMethod):
         self.meek: t.Optional[MeekChannel] = None
         self.circuit_id: t.Optional[int] = None
         self._streams: t.Dict[int, _TorStreamChannel] = {}
-        self._control_waiters: t.Dict[str, t.List[Event]] = {}
+        # Key space = the control-protocol command vocabulary (a few
+        # fixed strings); the per-command waiter lists are popped.
+        self._control_waiters: t.Dict[str, t.List[Event]] = {}  # reprolint: disable=unbounded-cache-field
         self._connected_waiters: t.Dict[int, Event] = {}
         self.bootstrap_time: float = 0.0
         self.connected = False

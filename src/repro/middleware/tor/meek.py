@@ -42,7 +42,10 @@ class CdnFront:
         self.front_domain = front_domain
         self.max_hold = max_hold
         self.posts_served = 0
-        self._sessions: t.Dict[int, t.Dict[str, t.Any]] = {}
+        # Key space = one long-lived session id per meek client; the
+        # bridge leg survives the client's polling, so dropping state
+        # between polls would sever the tunnel.
+        self._sessions: t.Dict[int, t.Dict[str, t.Any]] = {}  # reprolint: disable=unbounded-cache-field
         transport = t.cast(TransportLayer, host.transport)
         transport.listen_tcp(443, self._accept)
 

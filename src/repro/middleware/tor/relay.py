@@ -67,36 +67,45 @@ class TorRelay:
 
     def _serve_upstream(self, conn: TcpConnection):
         """Handle cells arriving from the client direction."""
-        while True:
-            try:
-                message = yield conn.recv_message()
-            except TransportError:
-                return
-            if message is None:
-                return
-            if not cells.is_cell(message):
-                continue  # garbage (e.g. a GFW probe): swallow silently
-            _tag, circuit_id, command, payload = message
-            key = (id(conn), circuit_id)
-            circuit = self._circuits.get(key)
-            if command == cells.CREATE:
-                self._circuits[key] = _Circuit(circuit_id, conn)
-                conn.send_message(CELL_SIZE,
-                                  meta=cells.make_cell(circuit_id, cells.CREATED),
-                                  features=relay_link_features())
-                continue
-            if circuit is None:
-                continue
-            if command == cells.EXTEND:
-                yield from self._extend(circuit, payload)
-            elif command in (cells.BEGIN, cells.DATA, cells.END):
-                if circuit.downstream is not None:
-                    self.cells_relayed += 1
-                    circuit.downstream.send_message(
-                        cells.wire_bytes(_payload_length(payload)),
-                        meta=message, features=relay_link_features())
-                else:
-                    yield from self._exit_handle(circuit, command, payload)
+        try:
+            while True:
+                try:
+                    message = yield conn.recv_message()
+                except TransportError:
+                    return
+                if message is None:
+                    return
+                if not cells.is_cell(message):
+                    continue  # garbage (e.g. a GFW probe): swallow silently
+                _tag, circuit_id, command, payload = message
+                key = (id(conn), circuit_id)
+                circuit = self._circuits.get(key)
+                if command == cells.CREATE:
+                    self._circuits[key] = _Circuit(circuit_id, conn)
+                    conn.send_message(
+                        CELL_SIZE,
+                        meta=cells.make_cell(circuit_id, cells.CREATED),
+                        features=relay_link_features())
+                    continue
+                if circuit is None:
+                    continue
+                if command == cells.EXTEND:
+                    yield from self._extend(circuit, payload)
+                elif command in (cells.BEGIN, cells.DATA, cells.END):
+                    if circuit.downstream is not None:
+                        self.cells_relayed += 1
+                        circuit.downstream.send_message(
+                            cells.wire_bytes(_payload_length(payload)),
+                            meta=message, features=relay_link_features())
+                    else:
+                        yield from self._exit_handle(circuit, command, payload)
+        finally:
+            # The client link is gone; its circuits can never carry
+            # another cell.  Dropping their entries also prevents a
+            # recycled id(conn) from colliding with a dead circuit.
+            for key in [key for key in self._circuits
+                        if key[0] == id(conn)]:
+                del self._circuits[key]
 
     def _extend(self, circuit: _Circuit, payload: t.Any):
         """EXTEND: splice in a connection to the next relay."""

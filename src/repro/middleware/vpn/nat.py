@@ -29,8 +29,11 @@ class NatTable:
         self.public_addr = public_addr
         self._next_port = itertools.count(40_000)
         # (proto, nat_port) -> entry;  (proto, client, client_port) -> nat_port
-        self._by_nat: t.Dict[t.Tuple[str, int], NatEntry] = {}
-        self._by_client: t.Dict[t.Tuple[str, str, int], int] = {}
+        # Bounded by the run's distinct client flows: mappings must
+        # outlive their flow (the packet layer has no flow-end signal),
+        # and modeling NAT timeouts would change flow identity mid-run.
+        self._by_nat: t.Dict[t.Tuple[str, int], NatEntry] = {}  # reprolint: disable=unbounded-cache-field
+        self._by_client: t.Dict[t.Tuple[str, str, int], int] = {}  # reprolint: disable=unbounded-cache-field
 
     def translations(self) -> int:
         return len(self._by_nat)

@@ -31,10 +31,12 @@ class Network:
         self.sim = sim
         self.rng = rng if rng is not None else sim.rng
         self.trace = trace if trace is not None else TraceLog(sim)
-        self.nodes: t.Dict[str, Node] = {}
+        # Topology tables: filled while the testbed is built, static
+        # once traffic flows — bounded by the experiment's host count.
+        self.nodes: t.Dict[str, Node] = {}  # reprolint: disable=unbounded-cache-field
         self.links: t.List[Link] = []
-        self._by_address: t.Dict[IPv4Address, Node] = {}
-        self._allocators: t.Dict[str, AddressAllocator] = {}
+        self._by_address: t.Dict[IPv4Address, Node] = {}  # reprolint: disable=unbounded-cache-field
+        self._allocators: t.Dict[str, AddressAllocator] = {}  # reprolint: disable=unbounded-cache-field
 
     # -- construction -----------------------------------------------------------
 

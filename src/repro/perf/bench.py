@@ -256,6 +256,52 @@ def bench_fluid_fig7(clients: int, cycles: int, seeds: t.Sequence[int],
     return entry
 
 
+def bench_edge_cache(clients: int,
+                     seeds: t.Sequence[int]) -> t.Dict[str, t.Any]:
+    """Repeated-query overload point with the edge cache off vs on.
+
+    ``reference_s`` is the uncached sweep, ``optimized_s`` the cached
+    one (hits never cross the border, so the cached run also simulates
+    fewer events), both at the same knee knobs as the overload bench —
+    the cached cell adds admission bypass so hits skip the waiting
+    room.  Alongside the wall-clock speedup the entry records what the
+    cache is actually for: the transpacific byte reduction and the hit
+    rate (hard-gated in ``benchmarks/test_cache.py``; tracked here
+    against the baseline like every other cell).
+    """
+    from ..cache import CacheConfig
+    from ..measure.scenarios import run_repeated_query_point
+    from ..overload import OverloadConfig
+
+    knee = {"max_sessions": 120, "max_waiting": 16,
+            "queue_delay_threshold": 2.0}
+
+    def sweep(cached: bool) -> t.List[t.Any]:
+        return [run_repeated_query_point(
+                    clients=clients, cycles=1, seed=seed,
+                    overload=OverloadConfig(cache_bypass=cached, **knee),
+                    cache=CacheConfig() if cached else None)
+                for seed in seeds]
+
+    off_results: t.List[t.Any] = []
+    off_s = _best_time(
+        lambda: off_results.__setitem__(slice(None), sweep(False)), repeat=1)
+    on_results: t.List[t.Any] = []
+    on_s = _best_time(
+        lambda: on_results.__setitem__(slice(None), sweep(True)), repeat=1)
+
+    off_bytes = sum(r.transpacific_bytes for r in off_results)
+    on_bytes = sum(r.transpacific_bytes for r in on_results)
+    entry = _entry(off_s, on_s, clients=clients, seeds=list(seeds))
+    entry["transpacific_bytes_off"] = off_bytes
+    entry["transpacific_bytes_on"] = on_bytes
+    entry["byte_reduction"] = (round(1.0 - on_bytes / off_bytes, 4)
+                               if off_bytes else None)
+    entry["hit_rate"] = round(
+        sum(r.cache.hit_rate for r in on_results) / len(on_results), 4)
+    return entry
+
+
 def bench_fig7(methods: t.Sequence[str], levels: t.Sequence[int],
                workers: t.Optional[int]) -> t.Dict[str, t.Any]:
     from .reference import patched_reference_paths
@@ -310,6 +356,23 @@ def compare_to_baseline(report: t.Dict[str, t.Any],
         elif new < old / (1.0 + tolerance):
             failures.append(f"{name}: speedup regressed {old:.2f}x -> "
                             f"{new:.2f}x (tolerance {tolerance:.0%})")
+    # Parallel-scaling regression: only comparable when both the
+    # baseline and this run had the cores to exhibit it (a single-core
+    # record keeps the comparison dormant rather than meaningless).
+    if ((report.get("cpu_count") or 1) > 1
+            and (baseline.get("cpu_count") or 1) > 1):
+        sweep = "e2e.fig7-sweep.parallel_speedup"
+        old_par = (baseline.get("e2e", {}).get("fig7-sweep", {})
+                   .get("parallel_speedup"))
+        new_par = (report.get("e2e", {}).get("fig7-sweep", {})
+                   .get("parallel_speedup"))
+        if isinstance(old_par, (int, float)):
+            if not isinstance(new_par, (int, float)):
+                failures.append(f"{sweep}: benchmark disappeared "
+                                f"(baseline {old_par:.2f}x)")
+            elif new_par < old_par / (1.0 + tolerance):
+                failures.append(f"{sweep}: regressed {old_par:.2f}x -> "
+                                f"{new_par:.2f}x (tolerance {tolerance:.0%})")
     return failures
 
 
@@ -366,6 +429,9 @@ def run_bench(quick: bool, workers: t.Optional[int],
     }
     report["e2e"] = {
         "fig7-sweep": bench_fig7(methods, levels, workers),
+        "edge-cache": bench_edge_cache(
+            clients=40 if quick else 120,
+            seeds=(0,) if quick else (0, 1, 2)),
     }
     if mode != "packet":
         report["e2e"]["fluid-fig7"] = bench_fluid_fig7(

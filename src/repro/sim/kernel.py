@@ -129,6 +129,10 @@ class Simulator:
         #: ``None`` means pure packet mode; components must treat that
         #: as "no fast path" so packet-mode traces are bit-unchanged.
         self.fluid: t.Optional[t.Any] = None
+        #: Optional edge-cache registry (see :mod:`repro.cache`).
+        #: ``None`` means no caches are deployed; policy-change hooks
+        #: must treat that as "nothing to invalidate".
+        self.caches: t.Optional[t.Any] = None
 
     # -- clock -------------------------------------------------------------
 

@@ -343,6 +343,36 @@ def test_bench_gate_flags_speedup_regressions():
     assert compare_to_baseline(ok, baseline, tolerance=0.25) == []
 
 
+def test_bench_gate_tracks_parallel_speedup_against_baseline():
+    """Once a multi-core baseline is recorded, the parallel-scaling
+    number is held to the same tolerance as every other speedup — but
+    a single-core record on either side keeps the comparison dormant."""
+    from repro.perf.bench import compare_to_baseline
+
+    baseline = {"cpu_count": 4,
+                "e2e": {"fig7-sweep": {"speedup": 3.0,
+                                       "parallel_speedup": 1.8}}}
+    regressed = {"cpu_count": 4,
+                 "e2e": {"fig7-sweep": {"speedup": 3.0,
+                                        "parallel_speedup": 1.1}}}
+    failures = compare_to_baseline(regressed, baseline, tolerance=0.25)
+    assert any("parallel_speedup" in f for f in failures)
+    held = {"cpu_count": 4,
+            "e2e": {"fig7-sweep": {"speedup": 3.0,
+                                   "parallel_speedup": 1.7}}}
+    assert compare_to_baseline(held, baseline, tolerance=0.25) == []
+    missing = {"cpu_count": 4, "e2e": {"fig7-sweep": {"speedup": 3.0}}}
+    assert any("disappeared" in f for f in
+               compare_to_baseline(missing, baseline, tolerance=0.25))
+    # Either side recorded on one core: dormant, not a failure.
+    for single_side in (dict(regressed, cpu_count=1),):
+        assert compare_to_baseline(single_side, baseline,
+                                   tolerance=0.25) == []
+    single_baseline = dict(baseline, cpu_count=1)
+    assert compare_to_baseline(regressed, single_baseline,
+                               tolerance=0.25) == []
+
+
 def test_bench_parallel_gate_arms_only_on_multicore():
     from repro.perf.bench import parallel_gate_failures
 
